@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks over the workspace's hot paths: ECC decode
+//! throughput per scheme, fleet-simulation event throughput, feature
+//! extraction, and model training/inference latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mfp_dram::bus::ErrorTransfer;
+use mfp_dram::geometry::{DataWidth, Platform};
+use mfp_ecc::prelude::*;
+use mfp_features::prelude::*;
+use mfp_ml::prelude::*;
+use mfp_sim::prelude::*;
+use std::hint::black_box;
+
+fn ecc_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecc_decode");
+    let single_bit = ErrorTransfer::from_bits([(1, 21)]);
+    let device_burst: ErrorTransfer =
+        ErrorTransfer::from_bits((0..8u8).flat_map(|b| (20..24u8).map(move |q| (b, q))));
+    let multi_device = {
+        let mut t = ErrorTransfer::from_bits([(2, 0), (2, 1)]);
+        t.set(2, 36);
+        t
+    };
+    for (name, t) in [
+        ("single_bit", &single_bit),
+        ("whole_device", &device_burst),
+        ("multi_device", &multi_device),
+    ] {
+        for p in Platform::ALL {
+            let ecc = PlatformEcc::for_platform(p);
+            g.bench_function(format!("{}/{name}", p.code()), |b| {
+                b.iter(|| black_box(ecc.decode(black_box(t), DataWidth::X4)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn secded_and_rs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codes");
+    let hsiao = Hsiao7264::new();
+    g.bench_function("hsiao_decode_double", |b| {
+        b.iter(|| black_box(hsiao.decode_error(black_box(0b11 << 20))))
+    });
+    let rs = RsCode::new(&mfp_ecc::gf::GF256, 18, 16);
+    let mut e = [0u8; 18];
+    e[7] = 0x5A;
+    g.bench_function("rs_decode_single_symbol", |b| {
+        b.iter(|| black_box(rs.decode_error(black_box(&e))))
+    });
+    g.finish();
+}
+
+fn fleet_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("smoke_fleet", |b| {
+        b.iter(|| black_box(simulate_fleet(&FleetConfig::smoke(7))))
+    });
+    g.finish();
+}
+
+fn features_and_models(c: &mut Criterion) {
+    let fleet = simulate_fleet(&FleetConfig::smoke(7));
+    let problem = ProblemConfig::default();
+    let th = FaultThresholds::default();
+
+    let mut g = c.benchmark_group("features");
+    g.sample_size(10);
+    g.bench_function("build_samples_purley", |b| {
+        b.iter(|| {
+            black_box(build_samples(
+                &fleet,
+                Platform::IntelPurley,
+                &problem,
+                &th,
+            ))
+        })
+    });
+    g.finish();
+
+    let set = build_samples(&fleet, Platform::IntelPurley, &problem, &th)
+        .downsample_negatives(8);
+    let mut g = c.benchmark_group("models");
+    g.sample_size(10);
+    g.bench_function("train_random_forest", |b| {
+        b.iter_batched(
+            || set.clone(),
+            |s| black_box(Model::train(Algorithm::RandomForest, &s)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("train_lightgbm", |b| {
+        b.iter_batched(
+            || set.clone(),
+            |s| black_box(Model::train(Algorithm::LightGbm, &s)),
+            BatchSize::LargeInput,
+        )
+    });
+    let gbdt = Model::train(Algorithm::LightGbm, &set);
+    let rf = Model::train(Algorithm::RandomForest, &set);
+    let row = set.row(0).to_vec();
+    g.bench_function("infer_lightgbm", |b| {
+        b.iter(|| black_box(gbdt.predict_proba(black_box(&row))))
+    });
+    g.bench_function("infer_random_forest", |b| {
+        b.iter(|| black_box(rf.predict_proba(black_box(&row))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ecc_decode, secded_and_rs, fleet_sim, features_and_models);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Feature-importance report: which feature families drive the LightGBM
+//! model per platform — the "feature importance" gauge the paper's
+//! monitoring dashboards track (§VII), and indirect evidence for Finding 3
+//! (error-bit features dominate on every platform, with platform-specific
+//! members at the top).
+//!
+//! `cargo run --release -p mfp-bench --bin feature_importance [scale]`
+
+use mfp_bench::report::print_table;
+use mfp_core::prelude::*;
+use mfp_dram::geometry::Platform;
+use mfp_ml::model::{Algorithm, Model};
+use mfp_sim::config::FleetConfig;
+use mfp_sim::fleet::simulate_fleet;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20.0);
+    eprintln!("simulating 1:{scale:.0}-scale fleet (seed 42)...");
+    let fleet = simulate_fleet(&FleetConfig::calibrated(scale, 42));
+    let cfg = ExperimentConfig::default();
+
+    for platform in Platform::ALL {
+        let splits = build_splits(&fleet, platform, &cfg);
+        let model = Model::train_seeded(Algorithm::LightGbm, &splits.fit, cfg.seed);
+        let imp = model.feature_importance().expect("gbdt has importance");
+        let mut ranked: Vec<(String, f64)> = splits
+            .fit
+            .schema
+            .iter()
+            .cloned()
+            .zip(imp.iter().copied())
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+        let rows: Vec<Vec<String>> = ranked
+            .iter()
+            .take(10)
+            .map(|(name, v)| {
+                let family = FeatureFamily::ALL
+                    .iter()
+                    .find(|f| f.contains(name))
+                    .map(|f| f.label())
+                    .unwrap_or("?");
+                vec![
+                    name.clone(),
+                    format!("{:.1}%", v * 100.0),
+                    family.to_string(),
+                    "#".repeat((v * 200.0).round() as usize),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Top-10 LightGBM features — {platform}"),
+            &["feature", "gain share", "family", ""],
+            &[24, 11, 12, 25],
+            &rows,
+        );
+
+        // Family aggregation.
+        let mut family_share = vec![0.0f64; FeatureFamily::ALL.len()];
+        for (name, v) in &ranked {
+            for (k, fam) in FeatureFamily::ALL.iter().enumerate() {
+                if fam.contains(name) {
+                    family_share[k] += v;
+                }
+            }
+        }
+        print!("  family shares:");
+        for (fam, share) in FeatureFamily::ALL.iter().zip(&family_share) {
+            print!("  {}={:.0}%", fam.label(), share * 100.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates Fig. 5: UE rate bucketed by accumulated error-DQ / error-
+//! beat counts and intervals on the Intel platforms, with Finding 3.
+//!
+//! `cargo run --release -p mfp-bench --bin fig5 [scale]` (default 10).
+
+use mfp_bench::report::{paper, print_table};
+use mfp_core::study::error_bit_analysis;
+use mfp_dram::geometry::Platform;
+use mfp_sim::config::FleetConfig;
+use mfp_sim::fleet::simulate_fleet;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    eprintln!("simulating 1:{scale:.0}-scale fleet (seed 42)...");
+    let fleet = simulate_fleet(&FleetConfig::calibrated(scale, 42));
+
+    for platform in [Platform::IntelPurley, Platform::IntelWhitley] {
+        for panel in error_bit_analysis(&fleet, platform) {
+            let max_pct = panel
+                .buckets
+                .iter()
+                .filter(|b| b.1 >= 10)
+                .map(|b| b.3)
+                .fold(0.0f64, f64::max);
+            let rows: Vec<Vec<String>> = panel
+                .buckets
+                .iter()
+                .filter(|b| b.1 >= 10)
+                .map(|(bucket, n, _ue, pctv)| {
+                    let marker = if (*pctv - max_pct).abs() < 1e-9 && max_pct > 0.0 {
+                        " <- highest"
+                    } else {
+                        ""
+                    };
+                    vec![
+                        bucket.to_string(),
+                        n.to_string(),
+                        format!("{pctv:.1}%"),
+                        format!("{}{marker}", "#".repeat((pctv / 2.0).round() as usize)),
+                    ]
+                })
+                .collect();
+            print_table(
+                &format!("Fig. 5 — {platform}: UE rate by {}", panel.statistic),
+                &["value", "DIMMs", "UE rate", ""],
+                &[6, 7, 8, 40],
+                &rows,
+            );
+        }
+    }
+
+    println!("\nFinding 3 (paper reference):");
+    for (p, note) in paper::FIG5_NOTES {
+        println!("  {p}: {note}");
+    }
+}

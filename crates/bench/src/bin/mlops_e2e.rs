@@ -1,0 +1,108 @@
+//! Headless end-to-end exercise of the Fig. 6 MLOps workflow; the
+//! narrated version lives in `examples/mlops_pipeline.rs`.
+//!
+//! `cargo run --release -p mfp-bench --bin mlops_e2e`
+
+use mfp_dram::geometry::Platform;
+use mfp_dram::time::{SimDuration, SimTime};
+use mfp_features::fault_analysis::FaultThresholds;
+use mfp_features::labeling::ProblemConfig;
+use mfp_ml::model::Algorithm;
+use mfp_mlops::prelude::*;
+use mfp_sim::config::FleetConfig;
+use mfp_sim::fleet::simulate_fleet;
+use std::collections::BTreeMap;
+
+fn check(name: &str, ok: bool) {
+    println!("[{}] {name}", if ok { "PASS" } else { "FAIL" });
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let platform = Platform::IntelPurley;
+    let fleet = simulate_fleet(&FleetConfig::calibrated(50.0, 23));
+    let split = SimTime::ZERO + SimDuration::days(188);
+
+    // Data pipeline.
+    let lake = DataLake::new();
+    for t in &fleet.dimms {
+        lake.register_dimm(t.id, t.platform, t.spec);
+    }
+    let mut historical = mfp_dram::bmc::BmcLog::new();
+    for e in fleet.log.events().iter().filter(|e| e.time() < split) {
+        historical.push(*e);
+    }
+    let rejected = lake.ingest_encoded(&historical.encode()).expect("decode");
+    check("lake ingests encoded BMC logs", rejected == 0 && !lake.is_empty());
+
+    // Feature store: batch + consistency.
+    let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+    let train = store
+        .materialize(&lake, platform, SimTime::ZERO, SimTime::ZERO + SimDuration::days(105))
+        .downsample_negatives(8);
+    let bench = store.materialize(
+        &lake,
+        platform,
+        SimTime::ZERO + SimDuration::days(105),
+        SimTime::ZERO + SimDuration::days(160),
+    );
+    check("feature store materializes labelled samples", train.positives() > 0);
+    let probe = train.dimms[0];
+    let skew = store.consistency_check(&lake, platform, probe, SimTime::ZERO + SimDuration::days(20));
+    check(
+        "train/serve consistency check runs",
+        skew.is_none_or(|d| d == 0.0),
+    );
+
+    // CI/CD.
+    let registry = ModelRegistry::new();
+    let run = run_pipeline(
+        &registry,
+        &PipelineConfig::default(),
+        Algorithm::LightGbm,
+        platform,
+        split,
+        &train,
+        &bench,
+        &bench,
+    );
+    check("deployment pipeline promotes a model", run.deployed);
+
+    // Online prediction + mitigation.
+    let mut predictor =
+        OnlinePredictor::new(&lake, &store, &registry, platform, OnlineConfig::default());
+    let mut ue_times: BTreeMap<mfp_dram::address::DimmId, SimTime> = BTreeMap::new();
+    for e in fleet.log.events().iter().filter(|e| e.time() >= split) {
+        if lake.dimm_info(e.dimm()).map(|(p, _)| p) == Some(platform) {
+            predictor.observe(e);
+            if e.is_ue() {
+                ue_times.entry(e.dimm()).or_insert(e.time());
+            }
+        }
+    }
+    predictor.finish(SimTime::ZERO + SimDuration::days(270));
+    check("online predictor raises alarms", !predictor.alarms().is_empty());
+    let report = evaluate_mitigation(predictor.alarms(), &ue_times, &MitigationConfig::default());
+    check(
+        "mitigation engine computes VIRR",
+        report.virr_measured.is_finite() && report.tp + report.fp > 0,
+    );
+    println!(
+        "      alarms={} tp={} fp={} fn={} VIRR measured {:.2} / analytic {:.2}",
+        predictor.alarms().len(),
+        report.tp,
+        report.fp,
+        report.fn_,
+        report.virr_measured,
+        report.virr_analytic
+    );
+
+    // Monitoring.
+    let live = store.materialize(&lake, platform, SimTime::ZERO + SimDuration::days(150), split);
+    let drift = psi_report_excluding(&bench, &live, 10, &mfp_features::extract::CUMULATIVE_FEATURES);
+    check("drift report computes", drift.features.len() == bench.schema.len());
+    println!("      max PSI {:.3}", drift.max_psi());
+    println!("\nMLOps end-to-end: all stages passed.");
+}

@@ -1,0 +1,8 @@
+//! # mfp-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper
+//! (`table1`, `fig4`, `fig5`, `table2`, `virr_model`, `windows_sweep`,
+//! `ablation_features`, `mlops_e2e`), plus Criterion micro-benchmarks in
+//! `benches/`. Binaries print "paper vs measured" rows wherever the paper
+//! reports a number.
+pub mod report;

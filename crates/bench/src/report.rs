@@ -1,0 +1,103 @@
+//! Report formatting shared by the experiment binaries: fixed-width tables
+//! and the paper's reference numbers for side-by-side comparison.
+
+use mfp_dram::geometry::Platform;
+use mfp_ml::model::Algorithm;
+
+/// Prints a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], widths: &[usize], rows: &[Vec<String>]) {
+    assert_eq!(headers.len(), widths.len());
+    println!("\n== {title} ==");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(widths) {
+        line.push_str(&format!("{h:<w$} ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+    for row in rows {
+        let mut out = String::new();
+        for (cell, w) in row.iter().zip(widths) {
+            out.push_str(&format!("{cell:<w$} ", w = w));
+        }
+        println!("{out}");
+    }
+}
+
+/// Formats a ratio as a percentage cell.
+pub fn pct(x: f64) -> String {
+    format!("{x:.0}%")
+}
+
+/// Formats a metric to two decimals.
+pub fn m2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Paper reference values for side-by-side "paper vs measured" rows.
+pub mod paper {
+    use super::*;
+
+    /// Table I reference: `(platform, predictable %, sudden %)`.
+    pub const TABLE1: [(Platform, f64, f64); 3] = [
+        (Platform::IntelPurley, 73.0, 27.0),
+        (Platform::IntelWhitley, 42.0, 58.0),
+        (Platform::K920, 82.0, 18.0),
+    ];
+
+    /// Table II reference: precision, recall, F1, VIRR per cell; `None`
+    /// entries are the paper's `X` cells.
+    pub fn table2(algorithm: Algorithm, platform: Platform) -> Option<(f64, f64, f64, f64)> {
+        use Algorithm::*;
+        use Platform::*;
+        match (algorithm, platform) {
+            (RiskyCePattern, IntelPurley) => Some((0.53, 0.46, 0.49, 0.37)),
+            (RiskyCePattern, _) => None,
+            (RandomForest, IntelPurley) => Some((0.61, 0.62, 0.61, 0.52)),
+            (RandomForest, IntelWhitley) => Some((0.34, 0.46, 0.39, 0.32)),
+            (RandomForest, K920) => Some((0.44, 0.51, 0.47, 0.39)),
+            (LightGbm, IntelPurley) => Some((0.54, 0.80, 0.64, 0.65)),
+            (LightGbm, IntelWhitley) => Some((0.46, 0.54, 0.49, 0.45)),
+            (LightGbm, K920) => Some((0.51, 0.57, 0.54, 0.46)),
+            (FtTransformer, IntelPurley) => Some((0.49, 0.74, 0.59, 0.58)),
+            (FtTransformer, IntelWhitley) => Some((0.53, 0.49, 0.50, 0.40)),
+            (FtTransformer, K920) => Some((0.40, 0.54, 0.46, 0.41)),
+        }
+    }
+
+    /// Fig. 5 headline: the risky signatures per platform.
+    pub const FIG5_NOTES: [(&str, &str); 2] = [
+        (
+            "Intel Purley",
+            "peak UE rate at 2 error DQs / 2 error beats / 4-beat interval",
+        ),
+        (
+            "Intel Whitley",
+            "peak UE rate at 4 error DQs / 5 error beats; intervals not significant",
+        ),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table2_covers_all_ml_cells() {
+        for algo in [
+            Algorithm::RandomForest,
+            Algorithm::LightGbm,
+            Algorithm::FtTransformer,
+        ] {
+            for p in Platform::ALL {
+                assert!(paper::table2(algo, p).is_some(), "{algo} {p}");
+            }
+        }
+        assert!(paper::table2(Algorithm::RiskyCePattern, Platform::K920).is_none());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(73.2), "73%");
+        assert_eq!(m2(0.615), "0.61");
+    }
+}

@@ -1,0 +1,92 @@
+//! The end-to-end façade: simulate a fleet, analyze it, train a predictor
+//! and evaluate it — the five-line entry point of the README quickstart.
+
+use crate::experiment::{build_splits, evaluate_algorithm, AlgoResult, ExperimentConfig};
+use crate::study::{dataset_summary, DatasetRow};
+use mfp_dram::geometry::Platform;
+use mfp_dram::time::SimDuration;
+use mfp_ml::model::Algorithm;
+use mfp_sim::config::FleetConfig;
+use mfp_sim::fleet::{simulate_fleet, FleetResult};
+
+/// A configured memory-failure-prediction study.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mfp_core::pipeline::Study;
+/// use mfp_dram::geometry::Platform;
+/// use mfp_ml::model::Algorithm;
+///
+/// let study = Study::smoke(42);
+/// let result = study.evaluate(Platform::IntelPurley, Algorithm::LightGbm);
+/// println!("F1 = {:.2}", result.evaluation.f1);
+/// ```
+#[derive(Debug)]
+pub struct Study {
+    fleet: FleetResult,
+    config: ExperimentConfig,
+}
+
+impl Study {
+    /// Simulates a fleet with the given configuration.
+    pub fn new(fleet_config: &FleetConfig, experiment: ExperimentConfig) -> Self {
+        Study {
+            fleet: simulate_fleet(fleet_config),
+            config: experiment,
+        }
+    }
+
+    /// A small, fast study for demos and tests.
+    pub fn smoke(seed: u64) -> Self {
+        let fleet_cfg = FleetConfig::smoke(seed);
+        // The smoke fleet runs 120 days: shrink the protocol windows.
+        let cfg = ExperimentConfig {
+            fit_until: mfp_dram::time::SimTime::ZERO + SimDuration::days(50),
+            validate_until: mfp_dram::time::SimTime::ZERO + SimDuration::days(80),
+            ..Default::default()
+        };
+        Study::new(&fleet_cfg, cfg)
+    }
+
+    /// The paper-scale experiment study (per-platform scaled fleet).
+    pub fn experiment(seed: u64) -> Self {
+        Study::new(&FleetConfig::experiment(seed), ExperimentConfig::default())
+    }
+
+    /// The simulated fleet.
+    pub fn fleet(&self) -> &FleetResult {
+        &self.fleet
+    }
+
+    /// The experiment protocol.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// Table I over this fleet.
+    pub fn dataset_summary(&self) -> Vec<DatasetRow> {
+        dataset_summary(&self.fleet, self.config.problem.lead)
+    }
+
+    /// Trains and evaluates one algorithm on one platform.
+    pub fn evaluate(&self, platform: Platform, algorithm: Algorithm) -> AlgoResult {
+        let splits = build_splits(&self.fleet, platform, &self.config);
+        evaluate_algorithm(algorithm, &splits, platform, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_study_end_to_end() {
+        let study = Study::smoke(21);
+        let table1 = study.dataset_summary();
+        assert_eq!(table1.len(), 3);
+        let res = study.evaluate(Platform::IntelPurley, Algorithm::RiskyCePattern);
+        assert_eq!(res.platform, Platform::IntelPurley);
+        assert!(res.evaluation.f1 >= 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Addresses within the DRAM hierarchy.
+//!
+//! The hierarchy mirrors Fig. 1 of the paper: a server hosts DIMMs; a DIMM
+//! has ranks; a rank is a set of devices (chips); a device has bank groups,
+//! banks, rows and columns; a (bank, row, column) triple names a cell
+//! location inside every device of the rank simultaneously (all devices of a
+//! rank receive the same address on an access).
+
+use crate::geometry::DeviceGeometry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a server in the fleet.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ServerId(pub u32);
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srv-{:06}", self.0)
+    }
+}
+
+/// Identifier of one DIMM: the hosting server plus its slot index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DimmId {
+    /// Hosting server.
+    pub server: ServerId,
+    /// Slot index on the board.
+    pub slot: u8,
+}
+
+impl DimmId {
+    /// Creates a DIMM id from raw server number and slot.
+    pub const fn new(server: u32, slot: u8) -> Self {
+        DimmId {
+            server: ServerId(server),
+            slot,
+        }
+    }
+}
+
+impl fmt::Display for DimmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/dimm{}", self.server, self.slot)
+    }
+}
+
+/// A cell-granularity address inside one rank of a DIMM.
+///
+/// `bank` is the flattened bank index (`bank_group * banks_per_group +
+/// bank_in_group`). The address names the same (row, column) location in
+/// every device of the rank; which *devices* actually observe faulty bits is
+/// captured separately by the error transfer bitmap ([`crate::bus`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CellAddr {
+    /// Rank index on the DIMM.
+    pub rank: u8,
+    /// Flattened bank index within the device.
+    pub bank: u8,
+    /// Row within the bank.
+    pub row: u32,
+    /// Column within the row.
+    pub col: u16,
+}
+
+impl CellAddr {
+    /// Creates an address, asserting bounds against `geom` in debug builds.
+    pub fn new(rank: u8, bank: u8, row: u32, col: u16) -> Self {
+        CellAddr {
+            rank,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// Bank group of the flattened bank index under `geom`.
+    pub fn bank_group(&self, geom: &DeviceGeometry) -> u8 {
+        self.bank / geom.banks_per_group
+    }
+
+    /// Checks that every component is within `geom` bounds.
+    pub fn is_valid(&self, geom: &DeviceGeometry, ranks: u8) -> bool {
+        self.rank < ranks
+            && (self.bank as u16) < geom.banks()
+            && self.row < geom.rows()
+            && (self.col as u32) < geom.cols()
+    }
+}
+
+impl fmt::Display for CellAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "r{}/b{}/row{:#x}/col{:#x}",
+            self.rank, self.bank, self.row, self.col
+        )
+    }
+}
+
+/// Coarse region of a DIMM touched by a fault: used by the simulator to
+/// describe spatial footprints and by the analysis to classify fault modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// A single cell.
+    Cell {
+        /// The cell's address.
+        addr: CellAddr,
+    },
+    /// An entire row within a bank.
+    Row {
+        /// Rank index on the DIMM.
+        rank: u8,
+        /// Flattened bank index.
+        bank: u8,
+        /// Row within the bank.
+        row: u32,
+    },
+    /// An entire column within a bank.
+    Column {
+        /// Rank index on the DIMM.
+        rank: u8,
+        /// Flattened bank index.
+        bank: u8,
+        /// Column within the bank.
+        col: u16,
+    },
+    /// An entire bank.
+    Bank {
+        /// Rank index on the DIMM.
+        rank: u8,
+        /// Flattened bank index.
+        bank: u8,
+    },
+    /// An entire rank (all banks of all devices answering together).
+    Rank {
+        /// Rank index on the DIMM.
+        rank: u8,
+    },
+}
+
+impl Region {
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, addr: &CellAddr) -> bool {
+        match *self {
+            Region::Cell { addr: a } => a == *addr,
+            Region::Row { rank, bank, row } => {
+                addr.rank == rank && addr.bank == bank && addr.row == row
+            }
+            Region::Column { rank, bank, col } => {
+                addr.rank == rank && addr.bank == bank && addr.col == col
+            }
+            Region::Bank { rank, bank } => addr.rank == rank && addr.bank == bank,
+            Region::Rank { rank } => addr.rank == rank,
+        }
+    }
+
+    /// The rank this region lives in.
+    pub fn rank(&self) -> u8 {
+        match *self {
+            Region::Cell { addr } => addr.rank,
+            Region::Row { rank, .. }
+            | Region::Column { rank, .. }
+            | Region::Bank { rank, .. }
+            | Region::Rank { rank } => rank,
+        }
+    }
+
+    /// The flattened bank index, if the region is confined to one bank.
+    pub fn bank(&self) -> Option<u8> {
+        match *self {
+            Region::Cell { addr } => Some(addr.bank),
+            Region::Row { bank, .. } | Region::Column { bank, .. } | Region::Bank { bank, .. } => {
+                Some(bank)
+            }
+            Region::Rank { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> DeviceGeometry {
+        DeviceGeometry::DDR4_8GB_X4
+    }
+
+    #[test]
+    fn addr_validity_bounds() {
+        let g = geom();
+        assert!(CellAddr::new(0, 15, 131_071, 1023).is_valid(&g, 2));
+        assert!(!CellAddr::new(2, 0, 0, 0).is_valid(&g, 2));
+        assert!(!CellAddr::new(0, 16, 0, 0).is_valid(&g, 2));
+        assert!(!CellAddr::new(0, 0, 131_072, 0).is_valid(&g, 2));
+        assert!(!CellAddr::new(0, 0, 0, 1024).is_valid(&g, 2));
+    }
+
+    #[test]
+    fn bank_group_flattening() {
+        let g = geom();
+        assert_eq!(CellAddr::new(0, 0, 0, 0).bank_group(&g), 0);
+        assert_eq!(CellAddr::new(0, 5, 0, 0).bank_group(&g), 1);
+        assert_eq!(CellAddr::new(0, 15, 0, 0).bank_group(&g), 3);
+    }
+
+    #[test]
+    fn region_containment() {
+        let a = CellAddr::new(1, 3, 100, 7);
+        assert!(Region::Cell { addr: a }.contains(&a));
+        assert!(Region::Row {
+            rank: 1,
+            bank: 3,
+            row: 100
+        }
+        .contains(&a));
+        assert!(Region::Column {
+            rank: 1,
+            bank: 3,
+            col: 7
+        }
+        .contains(&a));
+        assert!(Region::Bank { rank: 1, bank: 3 }.contains(&a));
+        assert!(Region::Rank { rank: 1 }.contains(&a));
+        assert!(!Region::Bank { rank: 1, bank: 4 }.contains(&a));
+        assert!(!Region::Rank { rank: 0 }.contains(&a));
+    }
+
+    #[test]
+    fn region_accessors() {
+        let r = Region::Row {
+            rank: 1,
+            bank: 2,
+            row: 9,
+        };
+        assert_eq!(r.rank(), 1);
+        assert_eq!(r.bank(), Some(2));
+        assert_eq!(Region::Rank { rank: 0 }.bank(), None);
+    }
+
+    #[test]
+    fn dimm_id_display() {
+        let id = DimmId::new(42, 3);
+        assert_eq!(id.to_string(), "srv-000042/dimm3");
+    }
+}

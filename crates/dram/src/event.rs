@@ -1,0 +1,176 @@
+//! Memory error events as recorded by the BMC.
+//!
+//! The dataset of the paper consists of Machine Check Exception (MCE) logs
+//! and memory events collected by the Baseboard Management Controller:
+//! correctable errors (CE), uncorrectable errors (UE) and CE storms. Each
+//! error event carries the DRAM address and the pre-correction error-bit
+//! pattern on the bus (decoded from the ECC check-bit addresses, as the
+//! paper describes in Section II-B).
+
+use crate::address::{CellAddr, DimmId};
+use crate::bus::ErrorTransfer;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A correctable error: the ECC detected and repaired the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CeEvent {
+    /// When the error was observed.
+    pub time: SimTime,
+    /// The DIMM reporting the error.
+    pub dimm: DimmId,
+    /// The accessed DRAM address.
+    pub addr: CellAddr,
+    /// Pre-correction error bits on the bus.
+    pub transfer: ErrorTransfer,
+}
+
+/// An uncorrectable error: the ECC detected corruption it could not repair.
+///
+/// Whether a UE was *sudden* (no prior CEs on the DIMM) or *predictable*
+/// (preceded by CEs) is not a property of the event itself — the analysis
+/// layer derives it from the DIMM's history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UeEvent {
+    /// When the error was observed.
+    pub time: SimTime,
+    /// The DIMM reporting the error.
+    pub dimm: DimmId,
+    /// The accessed DRAM address.
+    pub addr: CellAddr,
+    /// Raw error bits on the bus.
+    pub transfer: ErrorTransfer,
+}
+
+/// A CE storm: the BMC observed a high frequency of CE interrupts in a short
+/// window (e.g. 10 or more within a minute) and suppressed further logging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CeStormEvent {
+    /// When the storm threshold was crossed.
+    pub time: SimTime,
+    /// The DIMM reporting the storm.
+    pub dimm: DimmId,
+    /// Number of CE interrupts inside the detection window.
+    pub count: u32,
+}
+
+/// Any memory event in a BMC log, ordered by time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemEvent {
+    /// Correctable error.
+    Ce(CeEvent),
+    /// Uncorrectable error.
+    Ue(UeEvent),
+    /// Correctable-error storm.
+    Storm(CeStormEvent),
+}
+
+impl MemEvent {
+    /// Observation time of the event.
+    pub fn time(&self) -> SimTime {
+        match self {
+            MemEvent::Ce(e) => e.time,
+            MemEvent::Ue(e) => e.time,
+            MemEvent::Storm(e) => e.time,
+        }
+    }
+
+    /// The DIMM the event belongs to.
+    pub fn dimm(&self) -> DimmId {
+        match self {
+            MemEvent::Ce(e) => e.dimm,
+            MemEvent::Ue(e) => e.dimm,
+            MemEvent::Storm(e) => e.dimm,
+        }
+    }
+
+    /// The correctable error, if this is a CE event.
+    pub fn as_ce(&self) -> Option<&CeEvent> {
+        match self {
+            MemEvent::Ce(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The uncorrectable error, if this is a UE event.
+    pub fn as_ue(&self) -> Option<&UeEvent> {
+        match self {
+            MemEvent::Ue(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The storm event, if this is a CE storm.
+    pub fn as_storm(&self) -> Option<&CeStormEvent> {
+        match self {
+            MemEvent::Storm(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True for [`MemEvent::Ue`].
+    pub fn is_ue(&self) -> bool {
+        matches!(self, MemEvent::Ue(_))
+    }
+}
+
+impl fmt::Display for MemEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemEvent::Ce(e) => write!(f, "[{}] CE {} {} ({})", e.time, e.dimm, e.addr, e.transfer),
+            MemEvent::Ue(e) => write!(f, "[{}] UE {} {} ({})", e.time, e.dimm, e.addr, e.transfer),
+            MemEvent::Storm(e) => {
+                write!(f, "[{}] CE-STORM {} count={}", e.time, e.dimm, e.count)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::ErrorTransfer;
+
+    fn sample_ce() -> CeEvent {
+        CeEvent {
+            time: SimTime::from_secs(60),
+            dimm: DimmId::new(1, 0),
+            addr: CellAddr::new(0, 2, 55, 9),
+            transfer: ErrorTransfer::from_bits([(0, 3)]),
+        }
+    }
+
+    #[test]
+    fn accessors_dispatch() {
+        let ce = MemEvent::Ce(sample_ce());
+        assert_eq!(ce.time(), SimTime::from_secs(60));
+        assert_eq!(ce.dimm(), DimmId::new(1, 0));
+        assert!(ce.as_ce().is_some());
+        assert!(ce.as_ue().is_none());
+        assert!(!ce.is_ue());
+
+        let ue = MemEvent::Ue(UeEvent {
+            time: SimTime::from_secs(61),
+            dimm: DimmId::new(1, 0),
+            addr: CellAddr::new(0, 2, 55, 9),
+            transfer: ErrorTransfer::from_bits([(0, 3), (1, 5)]),
+        });
+        assert!(ue.is_ue());
+        assert!(ue.as_ue().is_some());
+        assert!(ue.as_storm().is_none());
+    }
+
+    #[test]
+    fn display_includes_kind() {
+        let e = MemEvent::Ce(sample_ce());
+        assert!(e.to_string().contains("CE"));
+        let s = MemEvent::Storm(CeStormEvent {
+            time: SimTime::ZERO,
+            dimm: DimmId::new(0, 1),
+            count: 12,
+        });
+        assert!(s.to_string().contains("CE-STORM"));
+        assert!(s.to_string().contains("count=12"));
+    }
+}

@@ -1,0 +1,219 @@
+//! CPU platforms and the DRAM topology they drive.
+//!
+//! The paper studies three processor platforms with distinct ECC designs:
+//! Intel **Purley** (Skylake / Cascade Lake), Intel **Whitley** (Ice Lake)
+//! and the ARM-based Huawei **K920**. The platform determines the memory
+//! controller's ECC scheme and therefore which raw error patterns surface as
+//! correctable (CE) versus uncorrectable (UE) errors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Instruction-set architecture of the host CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CpuArch {
+    /// Intel/AMD x86-64 servers.
+    X86,
+    /// ARM (AArch64) servers.
+    Arm,
+}
+
+impl fmt::Display for CpuArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuArch::X86 => write!(f, "X86"),
+            CpuArch::Arm => write!(f, "ARM"),
+        }
+    }
+}
+
+/// The processor platforms compared in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use mfp_dram::geometry::{Platform, CpuArch};
+///
+/// assert_eq!(Platform::IntelPurley.arch(), CpuArch::X86);
+/// assert_eq!(Platform::K920.arch(), CpuArch::Arm);
+/// assert_eq!(Platform::ALL.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Intel Purley (Skylake / Cascade Lake generation).
+    IntelPurley,
+    /// Intel Whitley (Ice Lake generation).
+    IntelWhitley,
+    /// Huawei ARM K920 (name anonymized in the paper).
+    K920,
+}
+
+impl Platform {
+    /// All studied platforms, in the order the paper tabulates them.
+    pub const ALL: [Platform; 3] = [
+        Platform::IntelPurley,
+        Platform::IntelWhitley,
+        Platform::K920,
+    ];
+
+    /// The CPU architecture family this platform belongs to.
+    pub const fn arch(self) -> CpuArch {
+        match self {
+            Platform::IntelPurley | Platform::IntelWhitley => CpuArch::X86,
+            Platform::K920 => CpuArch::Arm,
+        }
+    }
+
+    /// A short stable identifier used in logs and reports.
+    pub const fn code(self) -> &'static str {
+        match self {
+            Platform::IntelPurley => "purley",
+            Platform::IntelWhitley => "whitley",
+            Platform::K920 => "k920",
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::IntelPurley => write!(f, "Intel Purley"),
+            Platform::IntelWhitley => write!(f, "Intel Whitley"),
+            Platform::K920 => write!(f, "K920"),
+        }
+    }
+}
+
+/// Geometry of one DRAM device (chip) generation as used in the fleet.
+///
+/// The studied fleet is DDR4: each bank group contains 4 banks, x4 devices
+/// expose 4 data (DQ) lanes, and a rank is the set of devices that answer a
+/// single memory transaction together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeviceGeometry {
+    /// Number of bank groups per device (DDR4 x4/x8: 4).
+    pub bank_groups: u8,
+    /// Banks per bank group (DDR4: 4).
+    pub banks_per_group: u8,
+    /// Number of row address bits.
+    pub row_bits: u8,
+    /// Number of column address bits.
+    pub col_bits: u8,
+}
+
+impl DeviceGeometry {
+    /// Standard 8 Gb DDR4 x4 die geometry (4 bank groups x 4 banks,
+    /// 128K rows x 1K columns).
+    pub const DDR4_8GB_X4: DeviceGeometry = DeviceGeometry {
+        bank_groups: 4,
+        banks_per_group: 4,
+        row_bits: 17,
+        col_bits: 10,
+    };
+
+    /// Total number of banks in the device.
+    pub const fn banks(self) -> u16 {
+        self.bank_groups as u16 * self.banks_per_group as u16
+    }
+
+    /// Number of rows per bank.
+    pub const fn rows(self) -> u32 {
+        1u32 << self.row_bits
+    }
+
+    /// Number of columns per row.
+    pub const fn cols(self) -> u32 {
+        1u32 << self.col_bits
+    }
+}
+
+impl Default for DeviceGeometry {
+    fn default() -> Self {
+        DeviceGeometry::DDR4_8GB_X4
+    }
+}
+
+/// Width of the data interface of each DRAM device on a DIMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DataWidth {
+    /// Four DQ lanes per device: 18 devices cover the 72-bit ECC word.
+    X4,
+    /// Eight DQ lanes per device: 9 devices cover the 72-bit ECC word.
+    X8,
+}
+
+impl DataWidth {
+    /// DQ lanes driven by one device.
+    pub const fn dq_per_device(self) -> u8 {
+        match self {
+            DataWidth::X4 => 4,
+            DataWidth::X8 => 8,
+        }
+    }
+
+    /// Number of devices needed to fill the 72-bit (64 data + 8 ECC) bus.
+    pub const fn devices_per_rank(self) -> u8 {
+        match self {
+            DataWidth::X4 => 18,
+            DataWidth::X8 => 9,
+        }
+    }
+}
+
+impl fmt::Display for DataWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataWidth::X4 => write!(f, "x4"),
+            DataWidth::X8 => write!(f, "x8"),
+        }
+    }
+}
+
+/// Width of the ECC word on the memory bus: 64 data bits + 8 check bits.
+pub const BUS_BITS: u8 = 72;
+
+/// Beats per DDR4 burst (BL8).
+pub const BURST_BEATS: u8 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_arch_mapping() {
+        assert_eq!(Platform::IntelPurley.arch(), CpuArch::X86);
+        assert_eq!(Platform::IntelWhitley.arch(), CpuArch::X86);
+        assert_eq!(Platform::K920.arch(), CpuArch::Arm);
+    }
+
+    #[test]
+    fn platform_codes_unique() {
+        let codes: Vec<_> = Platform::ALL.iter().map(|p| p.code()).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len());
+    }
+
+    #[test]
+    fn ddr4_geometry_counts() {
+        let g = DeviceGeometry::DDR4_8GB_X4;
+        assert_eq!(g.banks(), 16);
+        assert_eq!(g.rows(), 131_072);
+        assert_eq!(g.cols(), 1024);
+    }
+
+    #[test]
+    fn widths_tile_the_bus() {
+        for w in [DataWidth::X4, DataWidth::X8] {
+            assert_eq!(w.dq_per_device() as u16 * w.devices_per_rank() as u16, 72);
+        }
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Platform::IntelPurley.to_string(), "Intel Purley");
+        assert_eq!(DataWidth::X4.to_string(), "x4");
+        assert_eq!(CpuArch::Arm.to_string(), "ARM");
+    }
+}

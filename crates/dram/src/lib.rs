@@ -1,0 +1,61 @@
+//! # mfp-dram
+//!
+//! DRAM organization substrate for the `memfault` workspace — the data
+//! model behind *"Investigating Memory Failure Prediction Across CPU
+//! Architectures"* (Yu et al., DSN 2024).
+//!
+//! This crate knows nothing about faults, ECC or machine learning; it
+//! defines the vocabulary everything else speaks:
+//!
+//! * [`geometry`] — CPU platforms ([`geometry::Platform`]) and DDR4 device
+//!   geometry (banks/rows/columns, x4/x8 widths, the 72-bit bus).
+//! * [`spec`] — static DIMM attributes recorded by the BMC (manufacturer,
+//!   frequency, die process, capacity).
+//! * [`addrmap`] — physical-address ↔ DRAM-coordinate decoding (the BMC's
+//!   machine-check address decode).
+//! * [`address`] — identifiers and addresses down the hierarchy
+//!   (server → DIMM → rank → bank → row → column), plus spatial regions.
+//! * [`bus`] — the per-burst error-bit bitmap over (beat × DQ lane), with
+//!   the DQ/beat count and interval statistics analysed in the paper's
+//!   Fig. 5.
+//! * [`event`] — CE / UE / CE-storm events.
+//! * [`bmc`] — the time-ordered event log and its binary wire format.
+//! * [`time`] — simulation clock.
+//!
+//! # Examples
+//!
+//! ```
+//! use mfp_dram::prelude::*;
+//!
+//! let spec = DimmSpec::default();
+//! assert_eq!(spec.width.devices_per_rank(), 18);
+//!
+//! let mut t = ErrorTransfer::new();
+//! t.set(0, 4);
+//! t.set(4, 6);
+//! assert_eq!(t.beat_interval(), Some(4)); // the Purley high-risk interval
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod addrmap;
+pub mod bmc;
+pub mod bus;
+pub mod event;
+pub mod geometry;
+pub mod spec;
+pub mod time;
+
+/// Convenient glob-import of the most used types.
+pub mod prelude {
+    pub use crate::address::{CellAddr, DimmId, Region, ServerId};
+    pub use crate::addrmap::AddressMap;
+    pub use crate::bmc::BmcLog;
+    pub use crate::bus::ErrorTransfer;
+    pub use crate::event::{CeEvent, CeStormEvent, MemEvent, UeEvent};
+    pub use crate::geometry::{CpuArch, DataWidth, DeviceGeometry, Platform};
+    pub use crate::spec::{DieProcess, DimmSpec, Frequency, Manufacturer};
+    pub use crate::time::{SimDuration, SimTime};
+}

@@ -1,0 +1,248 @@
+//! DIMM specifications: the static configuration attributes recorded by the
+//! BMC for each module (manufacturer, data width, frequency, die process).
+//!
+//! These attributes enter the failure-prediction models as static features
+//! (Section VI of the paper) and modulate fault incidence in the simulator:
+//! field studies consistently report manufacturer- and process-dependent
+//! fault rates.
+
+use crate::geometry::{DataWidth, DeviceGeometry};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Anonymized DRAM manufacturer, as in the paper's confidential dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Manufacturer {
+    /// Vendor A.
+    A,
+    /// Vendor B.
+    B,
+    /// Vendor C.
+    C,
+    /// Vendor D.
+    D,
+    /// Vendor E.
+    E,
+}
+
+impl Manufacturer {
+    /// All manufacturers present in the fleet.
+    pub const ALL: [Manufacturer; 5] = [
+        Manufacturer::A,
+        Manufacturer::B,
+        Manufacturer::C,
+        Manufacturer::D,
+        Manufacturer::E,
+    ];
+
+    /// Dense index used for one-hot feature encoding.
+    pub const fn index(self) -> usize {
+        match self {
+            Manufacturer::A => 0,
+            Manufacturer::B => 1,
+            Manufacturer::C => 2,
+            Manufacturer::D => 3,
+            Manufacturer::E => 4,
+        }
+    }
+}
+
+impl fmt::Display for Manufacturer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Manufacturer::A => 'A',
+            Manufacturer::B => 'B',
+            Manufacturer::C => 'C',
+            Manufacturer::D => 'D',
+            Manufacturer::E => 'E',
+        };
+        write!(f, "Mfr-{c}")
+    }
+}
+
+/// DRAM die process node generation (successive shrinks of the DDR4 era).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DieProcess {
+    /// First-generation 1x-nm class.
+    P1x,
+    /// 1y-nm class.
+    P1y,
+    /// 1z-nm class.
+    P1z,
+}
+
+impl DieProcess {
+    /// All process nodes present in the fleet.
+    pub const ALL: [DieProcess; 3] = [DieProcess::P1x, DieProcess::P1y, DieProcess::P1z];
+
+    /// Dense index used for feature encoding.
+    pub const fn index(self) -> usize {
+        match self {
+            DieProcess::P1x => 0,
+            DieProcess::P1y => 1,
+            DieProcess::P1z => 2,
+        }
+    }
+}
+
+impl fmt::Display for DieProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DieProcess::P1x => write!(f, "1x"),
+            DieProcess::P1y => write!(f, "1y"),
+            DieProcess::P1z => write!(f, "1z"),
+        }
+    }
+}
+
+/// DDR4 transfer rate in MT/s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Frequency {
+    /// DDR4-2133.
+    Mt2133,
+    /// DDR4-2400.
+    Mt2400,
+    /// DDR4-2666.
+    Mt2666,
+    /// DDR4-2933.
+    Mt2933,
+    /// DDR4-3200.
+    Mt3200,
+}
+
+impl Frequency {
+    /// All transfer rates present in the fleet.
+    pub const ALL: [Frequency; 5] = [
+        Frequency::Mt2133,
+        Frequency::Mt2400,
+        Frequency::Mt2666,
+        Frequency::Mt2933,
+        Frequency::Mt3200,
+    ];
+
+    /// The rate in mega-transfers per second.
+    pub const fn mts(self) -> u32 {
+        match self {
+            Frequency::Mt2133 => 2133,
+            Frequency::Mt2400 => 2400,
+            Frequency::Mt2666 => 2666,
+            Frequency::Mt2933 => 2933,
+            Frequency::Mt3200 => 3200,
+        }
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MT/s", self.mts())
+    }
+}
+
+/// Static specification of one DIMM as catalogued by the BMC.
+///
+/// # Examples
+///
+/// ```
+/// use mfp_dram::spec::{DimmSpec, Manufacturer, DieProcess, Frequency};
+/// use mfp_dram::geometry::DataWidth;
+///
+/// let spec = DimmSpec::new(Manufacturer::A, DataWidth::X4, Frequency::Mt2933, DieProcess::P1y, 32);
+/// assert_eq!(spec.devices(), 36); // 2 ranks x 18 x4 devices
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DimmSpec {
+    /// DRAM vendor.
+    pub manufacturer: Manufacturer,
+    /// Device data width (x4 or x8).
+    pub width: DataWidth,
+    /// Transfer rate.
+    pub frequency: Frequency,
+    /// Die process node.
+    pub process: DieProcess,
+    /// Module capacity in GiB.
+    pub capacity_gib: u16,
+    /// Number of ranks on the module.
+    pub ranks: u8,
+    /// Per-device geometry.
+    pub geometry: DeviceGeometry,
+}
+
+impl DimmSpec {
+    /// Creates a dual-rank spec with default DDR4 geometry.
+    pub fn new(
+        manufacturer: Manufacturer,
+        width: DataWidth,
+        frequency: Frequency,
+        process: DieProcess,
+        capacity_gib: u16,
+    ) -> Self {
+        DimmSpec {
+            manufacturer,
+            width,
+            frequency,
+            process,
+            capacity_gib,
+            ranks: 2,
+            geometry: DeviceGeometry::default(),
+        }
+    }
+
+    /// Total DRAM devices on the module across all ranks.
+    pub fn devices(&self) -> u16 {
+        self.ranks as u16 * self.width.devices_per_rank() as u16
+    }
+}
+
+impl Default for DimmSpec {
+    fn default() -> Self {
+        DimmSpec::new(
+            Manufacturer::A,
+            DataWidth::X4,
+            Frequency::Mt2933,
+            DieProcess::P1y,
+            32,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manufacturer_indices_are_dense() {
+        for (i, m) in Manufacturer::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn process_indices_are_dense() {
+        for (i, p) in DieProcess::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn frequencies_increase() {
+        let rates: Vec<u32> = Frequency::ALL.iter().map(|f| f.mts()).collect();
+        assert!(rates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn device_count_depends_on_width_and_ranks() {
+        let mut spec = DimmSpec::default();
+        assert_eq!(spec.devices(), 36);
+        spec.width = DataWidth::X8;
+        assert_eq!(spec.devices(), 18);
+        spec.ranks = 1;
+        assert_eq!(spec.devices(), 9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Manufacturer::C.to_string(), "Mfr-C");
+        assert_eq!(DieProcess::P1z.to_string(), "1z");
+        assert_eq!(Frequency::Mt3200.to_string(), "3200 MT/s");
+    }
+}

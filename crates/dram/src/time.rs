@@ -1,0 +1,261 @@
+//! Simulation time.
+//!
+//! All components of the workspace share a single notion of time: seconds
+//! since the start of the simulated observation period (the paper observes
+//! CE logs from January to October 2023, i.e. roughly 270 days). Wall-clock
+//! time never leaks into the simulation, which keeps every run perfectly
+//! reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in whole seconds since the simulation
+/// epoch.
+///
+/// `SimTime` is a transparent newtype over `u64`; arithmetic with
+/// [`SimDuration`] is checked in debug builds via the underlying integer
+/// operations.
+///
+/// # Examples
+///
+/// ```
+/// use mfp_dram::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::days(5);
+/// assert_eq!(t.as_secs(), 5 * 24 * 3600);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::days(5));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in whole seconds.
+///
+/// # Examples
+///
+/// ```
+/// use mfp_dram::time::SimDuration;
+///
+/// assert_eq!(SimDuration::hours(2).as_secs(), 7200);
+/// assert_eq!(SimDuration::minutes(3) + SimDuration::secs(30), SimDuration::secs(210));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Seconds since the simulation epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Whole minutes since the epoch.
+    pub const fn as_minutes(self) -> u64 {
+        self.0 / 60
+    }
+
+    /// Whole hours since the epoch.
+    pub const fn as_hours(self) -> u64 {
+        self.0 / 3600
+    }
+
+    /// Whole days since the epoch.
+    pub const fn as_days(self) -> u64 {
+        self.0 / 86_400
+    }
+
+    /// Saturating subtraction of a duration (clamps at the epoch).
+    pub const fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+
+    /// Checked subtraction of another time, `None` if `other` is later.
+    pub const fn checked_duration_since(self, other: SimTime) -> Option<SimDuration> {
+        match self.0.checked_sub(other.0) {
+            Some(v) => Some(SimDuration(v)),
+            None => None,
+        }
+    }
+}
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `secs` seconds.
+    pub const fn secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// Creates a duration of `m` minutes.
+    pub const fn minutes(m: u64) -> Self {
+        SimDuration(m * 60)
+    }
+
+    /// Creates a duration of `h` hours.
+    pub const fn hours(h: u64) -> Self {
+        SimDuration(h * 3600)
+    }
+
+    /// Creates a duration of `d` days.
+    pub const fn days(d: u64) -> Self {
+        SimDuration(d * 86_400)
+    }
+
+    /// The duration in whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// The duration in fractional days.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+
+    /// Multiplies the duration by an integer factor.
+    pub const fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.as_days();
+        let rem = self.0 % 86_400;
+        let h = rem / 3600;
+        let m = (rem % 3600) / 60;
+        let s = rem % 60;
+        write!(f, "d{d}+{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(86_400) && self.0 > 0 {
+            write!(f, "{}d", self.0 / 86_400)
+        } else if self.0.is_multiple_of(3600) && self.0 > 0 {
+            write!(f, "{}h", self.0 / 3600)
+        } else if self.0.is_multiple_of(60) && self.0 > 0 {
+            write!(f, "{}m", self.0 / 60)
+        } else {
+            write!(f, "{}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_secs(1000);
+        let d = SimDuration::secs(234);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimDuration::minutes(1), SimDuration::secs(60));
+        assert_eq!(SimDuration::hours(1), SimDuration::minutes(60));
+        assert_eq!(SimDuration::days(1), SimDuration::hours(24));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_epoch() {
+        let t = SimTime::from_secs(10);
+        assert_eq!(t.saturating_sub(SimDuration::secs(100)), SimTime::ZERO);
+        assert_eq!(
+            t.saturating_sub(SimDuration::secs(4)),
+            SimTime::from_secs(6)
+        );
+    }
+
+    #[test]
+    fn checked_duration_since_orders() {
+        let a = SimTime::from_secs(5);
+        let b = SimTime::from_secs(9);
+        assert_eq!(b.checked_duration_since(a), Some(SimDuration::secs(4)));
+        assert_eq!(a.checked_duration_since(b), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_secs(86_400 + 3600 * 2 + 60 * 3 + 4);
+        assert_eq!(t.to_string(), "d1+02:03:04");
+        assert_eq!(SimDuration::days(5).to_string(), "5d");
+        assert_eq!(SimDuration::hours(3).to_string(), "3h");
+        assert_eq!(SimDuration::minutes(5).to_string(), "5m");
+        assert_eq!(SimDuration::secs(7).to_string(), "7s");
+    }
+
+    #[test]
+    fn unit_accessors() {
+        let t = SimTime::from_secs(90_061);
+        assert_eq!(t.as_days(), 1);
+        assert_eq!(t.as_hours(), 25);
+        assert_eq!(t.as_minutes(), 1501);
+        assert!((SimDuration::hours(36).as_days_f64() - 1.5).abs() < 1e-12);
+        assert!((SimDuration::minutes(90).as_hours_f64() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! # mfp-ecc
+//!
+//! Error-correction-code substrate for the `memfault` workspace.
+//!
+//! The paper's central observation is that memory-failure patterns are
+//! architecture dependent *because each platform ships a different ECC*.
+//! This crate implements the codes for real:
+//!
+//! * [`gf`] — compile-time GF(2^4) / GF(2^8) arithmetic tables.
+//! * [`secded`] — the Hsiao (72,64) SEC-DED code with exhaustive
+//!   single/double-error guarantees.
+//! * [`rs`] — a complete Reed–Solomon decoder (syndromes,
+//!   Berlekamp–Massey, Chien search, Forney) that classifies injected
+//!   error patterns as corrected / detected / miscorrected / undetected.
+//! * [`scheme`] — burst-level ECC schemes mapping the 8x72 error grid onto
+//!   code words ([`scheme::SecDedPerBeat`], [`scheme::SddcPerBeat`],
+//!   [`scheme::SddcBeatPair`]).
+//! * [`platforms`] — the Purley / Whitley / K920 models with their
+//!   documented correction envelopes.
+//!
+//! # Examples
+//!
+//! ```
+//! use mfp_ecc::prelude::*;
+//! use mfp_dram::bus::ErrorTransfer;
+//! use mfp_dram::geometry::{DataWidth, Platform};
+//!
+//! // A 2-bit error within one chip, landing in an odd (weakened) beat:
+//! let t = ErrorTransfer::from_bits([(1, 20), (1, 21)]);
+//!
+//! let purley = PlatformEcc::for_platform(Platform::IntelPurley);
+//! let k920 = PlatformEcc::for_platform(Platform::K920);
+//! assert_eq!(purley.decode(&t, DataWidth::X4), DecodeOutcome::Ue);
+//! assert_eq!(k920.decode(&t, DataWidth::X4), DecodeOutcome::Corrected);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf;
+pub mod platforms;
+pub mod rs;
+pub mod scheme;
+pub mod secded;
+
+/// Convenient glob-import of the most used types.
+pub mod prelude {
+    pub use crate::platforms::{K920Ecc, PlatformEcc, PurleyEcc, WhitleyEcc};
+    pub use crate::rs::{RsCode, RsOutcome};
+    pub use crate::scheme::{DecodeOutcome, EccScheme, SddcBeatPair, SddcPerBeat, SecDedPerBeat};
+    pub use crate::secded::{Hsiao7264, WordOutcome};
+}

@@ -1,0 +1,238 @@
+//! Per-platform ECC models.
+//!
+//! The exact production ECC algorithms are confidential (paper, §II-B); what
+//! is public is their *correction envelope*:
+//!
+//! * **Intel Purley** — SDDC-class but *weaker than Chipkill*: some check
+//!   bits are repurposed for metadata (ownership/security/failed-region
+//!   marking, per Li et al. \[7\]), leaving parts of the burst with only
+//!   SEC-DED-grade protection. Certain single-chip error patterns are
+//!   therefore uncorrectable — the paper's Finding 2.
+//! * **Intel Whitley** — per-beat x4 SDDC: every beat carries full RS
+//!   symbol correction, so all single-device faults are corrected and UEs
+//!   require multi-device coincidence.
+//! * **K920** — "K920-SDDC": device-level correction over beat pairs,
+//!   likewise correcting all single-device faults.
+//!
+//! [`PurleyEcc`] realizes the repurposing by protecting even beats with the
+//! real RS(18,16)/GF(16) code and odd beats with Hsiao SEC-DED only. This
+//! is a *model*, not Intel's circuit — but the envelope it produces matches
+//! the published facts: single-device multi-bit patterns that collide in a
+//! weakened beat become UEs, while the same patterns are CEs on Whitley and
+//! K920.
+
+use crate::gf::GF256;
+use crate::rs::RsCode;
+use crate::scheme::{DecodeOutcome, EccScheme, SddcBeatPair, SddcPerBeat};
+use crate::secded::Hsiao7264;
+use mfp_dram::bus::ErrorTransfer;
+use mfp_dram::geometry::{DataWidth, Platform, BURST_BEATS};
+
+/// The Purley ECC model: full SDDC on even beats, SEC-DED on odd beats
+/// (check bits repurposed for metadata, per \[7\]).
+#[derive(Debug, Clone)]
+pub struct PurleyEcc {
+    rs: RsCode<256>,
+    secded: Hsiao7264,
+}
+
+impl PurleyEcc {
+    /// Creates the Purley model.
+    pub fn new() -> Self {
+        PurleyEcc {
+            rs: RsCode::new(&GF256, 18, 16),
+            secded: Hsiao7264::new(),
+        }
+    }
+
+    /// True when this beat retains its full RS check symbols.
+    pub fn beat_is_strong(beat: u8) -> bool {
+        beat.is_multiple_of(2)
+    }
+}
+
+impl Default for PurleyEcc {
+    fn default() -> Self {
+        PurleyEcc::new()
+    }
+}
+
+impl EccScheme for PurleyEcc {
+    fn name(&self) -> &'static str {
+        "Purley SDDC (repurposed check bits)"
+    }
+
+    fn decode(&self, transfer: &ErrorTransfer, width: DataWidth) -> DecodeOutcome {
+        let mut out = DecodeOutcome::Clean;
+        for beat in 0..BURST_BEATS {
+            let lanes = transfer.beats()[beat as usize];
+            let word = if width == DataWidth::X4 && Self::beat_is_strong(beat) {
+                let mut symbols = [0u8; 18];
+                for (d, sym) in symbols.iter_mut().enumerate() {
+                    *sym = ((lanes >> (d * 4)) & 0xF) as u8;
+                }
+                self.rs.decode_error(&symbols).into()
+            } else {
+                self.secded.decode_error(lanes).into()
+            };
+            out = out.combine(word);
+        }
+        out
+    }
+}
+
+/// The Whitley ECC model: full per-beat x4 SDDC on every beat.
+pub type WhitleyEcc = SddcPerBeat;
+
+/// The K920 ECC model: device-symbol correction over beat pairs
+/// ("K920-SDDC").
+pub type K920Ecc = SddcBeatPair;
+
+/// ECC scheme of a studied platform, dispatching to the concrete model.
+#[derive(Debug, Clone)]
+pub enum PlatformEcc {
+    /// Intel Purley model.
+    Purley(PurleyEcc),
+    /// Intel Whitley model.
+    Whitley(WhitleyEcc),
+    /// K920 model.
+    K920(K920Ecc),
+}
+
+impl PlatformEcc {
+    /// The ECC model shipped by `platform`.
+    pub fn for_platform(platform: Platform) -> Self {
+        match platform {
+            Platform::IntelPurley => PlatformEcc::Purley(PurleyEcc::new()),
+            Platform::IntelWhitley => PlatformEcc::Whitley(WhitleyEcc::new()),
+            Platform::K920 => PlatformEcc::K920(K920Ecc::new()),
+        }
+    }
+
+    /// Reference to the K920 code used for GF(256) beat-pair decoding —
+    /// exposed for benchmarking.
+    pub fn inner(&self) -> &dyn EccScheme {
+        match self {
+            PlatformEcc::Purley(s) => s,
+            PlatformEcc::Whitley(s) => s,
+            PlatformEcc::K920(s) => s,
+        }
+    }
+}
+
+impl EccScheme for PlatformEcc {
+    fn name(&self) -> &'static str {
+        self.inner().name()
+    }
+
+    fn decode(&self, transfer: &ErrorTransfer, width: DataWidth) -> DecodeOutcome {
+        self.inner().decode(transfer, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Errors confined to one x4 device.
+    fn device_bits(dev: u8, bits: &[(u8, u8)]) -> ErrorTransfer {
+        ErrorTransfer::from_bits(bits.iter().map(|&(beat, dq)| (beat, dev * 4 + dq)))
+    }
+
+    #[test]
+    fn purley_corrects_single_bit_anywhere() {
+        let ecc = PurleyEcc::new();
+        for beat in 0..8 {
+            let t = device_bits(5, &[(beat, 2)]);
+            assert_eq!(
+                ecc.decode(&t, DataWidth::X4),
+                DecodeOutcome::Corrected,
+                "beat {beat}"
+            );
+        }
+    }
+
+    #[test]
+    fn purley_corrects_multibit_in_strong_beat() {
+        let ecc = PurleyEcc::new();
+        // 3 bits of one device in beat 0 (strong): one RS symbol error.
+        let t = device_bits(5, &[(0, 0), (0, 1), (0, 3)]);
+        assert_eq!(ecc.decode(&t, DataWidth::X4), DecodeOutcome::Corrected);
+    }
+
+    #[test]
+    fn purley_flags_multibit_in_weak_beat() {
+        // The paper's "weaker than Chipkill" envelope: the same single-chip
+        // pattern that Whitley corrects is a UE on Purley when it lands in
+        // a repurposed (odd) beat.
+        let purley = PurleyEcc::new();
+        let whitley = WhitleyEcc::new();
+        let t = device_bits(5, &[(1, 0), (1, 1)]);
+        assert_eq!(purley.decode(&t, DataWidth::X4), DecodeOutcome::Ue);
+        assert_eq!(whitley.decode(&t, DataWidth::X4), DecodeOutcome::Corrected);
+    }
+
+    #[test]
+    fn purley_risky_interval4_pattern_escalates() {
+        let ecc = PurleyEcc::new();
+        // Fig 5 signature: 2 DQs / 2 beats / 4-beat interval on odd beats.
+        // One bit per weak beat still corrects...
+        let warning = device_bits(5, &[(1, 0), (5, 1)]);
+        assert_eq!(ecc.decode(&warning, DataWidth::X4), DecodeOutcome::Corrected);
+        // ...until both DQs err within one weak beat.
+        let escalated = device_bits(5, &[(1, 0), (1, 1), (5, 1)]);
+        assert_eq!(ecc.decode(&escalated, DataWidth::X4), DecodeOutcome::Ue);
+    }
+
+    #[test]
+    fn whitley_and_k920_correct_whole_device_failure() {
+        let mut bits = Vec::new();
+        for beat in 0..8 {
+            for dq in 0..4 {
+                bits.push((beat, dq));
+            }
+        }
+        let t = device_bits(11, &bits);
+        assert_eq!(
+            WhitleyEcc::new().decode(&t, DataWidth::X4),
+            DecodeOutcome::Corrected
+        );
+        assert_eq!(
+            K920Ecc::new().decode(&t, DataWidth::X4),
+            DecodeOutcome::Corrected
+        );
+        // Purley, by contrast, cannot: weak beats see 4-bit errors.
+        assert_eq!(
+            PurleyEcc::new().decode(&t, DataWidth::X4),
+            DecodeOutcome::Ue
+        );
+    }
+
+    #[test]
+    fn multi_device_same_beat_exceeds_all_platforms() {
+        let mut t = device_bits(3, &[(0, 0), (0, 1)]);
+        t.set(0, 9 * 4);
+        t.set(0, 9 * 4 + 2);
+        for p in Platform::ALL {
+            let ecc = PlatformEcc::for_platform(p);
+            let out = ecc.decode(&t, DataWidth::X4);
+            assert!(
+                matches!(out, DecodeOutcome::Ue | DecodeOutcome::Sdc),
+                "{p}: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn platform_dispatch_names() {
+        assert!(PlatformEcc::for_platform(Platform::IntelPurley)
+            .name()
+            .contains("Purley"));
+        assert!(PlatformEcc::for_platform(Platform::IntelWhitley)
+            .name()
+            .contains("beat"));
+        assert!(PlatformEcc::for_platform(Platform::K920)
+            .name()
+            .contains("beat-pair"));
+    }
+}

@@ -1,0 +1,413 @@
+//! Reed–Solomon codes over GF(2^m) — the substrate of Chipkill / SDDC.
+//!
+//! An RS(n, k) code over GF(q) corrects up to `t = (n-k)/2` symbol errors
+//! and is MDS (distance `n-k+1`). Chipkill-class memory ECC maps each DRAM
+//! device to one code symbol so that a whole-device failure is a single
+//! symbol error.
+//!
+//! The decoder is the standard pipeline — syndromes, Berlekamp–Massey,
+//! Chien search, Forney — operating directly on *error patterns* (the code
+//! is linear, so the decoder's behaviour is fully determined by the error
+//! vector). [`RsCode::decode_error`] then compares the decoder's candidate
+//! correction against the injected truth to classify the outcome, including
+//! miscorrections: exactly what the fault simulator needs to decide whether
+//! an access produces a CE, a UE, or silent corruption.
+
+use crate::gf::GfTables;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of decoding an injected symbol-error pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RsOutcome {
+    /// No erroneous symbols.
+    Clean,
+    /// All erroneous symbols located and repaired.
+    Corrected,
+    /// Error detected but beyond correction capability: raises a UE.
+    Detected,
+    /// Decoder produced a *wrong* correction: silent data corruption.
+    Miscorrected,
+    /// The error vector is itself a code word: invisible to the decoder.
+    Undetected,
+}
+
+impl RsOutcome {
+    /// True when the memory controller would signal an uncorrectable error.
+    pub fn is_ue(self) -> bool {
+        matches!(self, RsOutcome::Detected)
+    }
+
+    /// True when data is silently wrong after decoding.
+    pub fn is_sdc(self) -> bool {
+        matches!(self, RsOutcome::Miscorrected | RsOutcome::Undetected)
+    }
+}
+
+/// A Reed–Solomon code RS(n, k) over GF(Q) with first consecutive root
+/// alpha^1.
+///
+/// # Examples
+///
+/// ```
+/// use mfp_ecc::gf::GF256;
+/// use mfp_ecc::rs::{RsCode, RsOutcome};
+///
+/// // The per-beat x4 SDDC code: 18 devices, 16 data + 2 check symbols
+/// // (device nibbles zero-extended into GF(256) symbols).
+/// let code = RsCode::new(&GF256, 18, 16);
+/// assert_eq!(code.t(), 1);
+///
+/// let mut error = vec![0u8; 18];
+/// error[7] = 0x5; // one device (symbol) in error
+/// assert_eq!(code.decode_error(&error), RsOutcome::Corrected);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RsCode<const Q: usize> {
+    gf: &'static GfTables<Q>,
+    n: usize,
+    k: usize,
+}
+
+impl<const Q: usize> RsCode<Q> {
+    /// Creates an RS(n, k) code.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < n <= Q - 1`.
+    pub fn new(gf: &'static GfTables<Q>, n: usize, k: usize) -> Self {
+        assert!(k > 0 && k < n, "require 0 < k < n");
+        assert!(n < Q, "block length exceeds field size");
+        RsCode { gf, n, k }
+    }
+
+    /// Block length (symbols per code word).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Data symbols per code word.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of check symbols.
+    pub fn nroots(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Guaranteed symbol-correction capability `t = (n-k)/2`.
+    pub fn t(&self) -> usize {
+        (self.n - self.k) / 2
+    }
+
+    /// Syndromes `S_j = E(alpha^(j+1))` of an error vector, `j = 0..n-k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error.len() != n`.
+    pub fn syndromes(&self, error: &[u8]) -> Vec<u8> {
+        assert_eq!(error.len(), self.n, "error vector length mismatch");
+        let nroots = self.nroots();
+        let mut syn = vec![0u8; nroots];
+        for (j, s) in syn.iter_mut().enumerate() {
+            let mut acc = 0u8;
+            for (i, &e) in error.iter().enumerate() {
+                if e != 0 {
+                    acc ^= self.gf.mul(e, self.gf.alpha_pow(i * (j + 1)));
+                }
+            }
+            *s = acc;
+        }
+        syn
+    }
+
+    /// Runs the full decoder against an injected error pattern and
+    /// classifies the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error.len() != n`.
+    pub fn decode_error(&self, error: &[u8]) -> RsOutcome {
+        let weight = error.iter().filter(|&&e| e != 0).count();
+        let syn = self.syndromes(error);
+        let all_zero = syn.iter().all(|&s| s == 0);
+        if all_zero {
+            return if weight == 0 {
+                RsOutcome::Clean
+            } else {
+                RsOutcome::Undetected
+            };
+        }
+        match self.try_correct(&syn) {
+            Some(candidate) => {
+                // The decoder believes `candidate` is the error. It is right
+                // exactly when it matches the injected truth.
+                let matches = candidate.len() == weight
+                    && candidate
+                        .iter()
+                        .all(|&(pos, mag)| pos < self.n && error[pos] == mag);
+                if matches {
+                    RsOutcome::Corrected
+                } else {
+                    RsOutcome::Miscorrected
+                }
+            }
+            None => RsOutcome::Detected,
+        }
+    }
+
+    /// Attempts to locate and evaluate up to `t` symbol errors from
+    /// syndromes. Returns `(position, magnitude)` pairs, or `None` when the
+    /// syndromes are inconsistent with any <=t-symbol error (detected).
+    fn try_correct(&self, syn: &[u8]) -> Option<Vec<(usize, u8)>> {
+        let nroots = self.nroots();
+        let t = self.t();
+        if t == 0 {
+            // Pure detection code (n-k == 1).
+            return None;
+        }
+
+        // Berlekamp–Massey: find the error-locator polynomial Lambda.
+        let mut lambda = vec![0u8; nroots + 1];
+        let mut b = vec![0u8; nroots + 1];
+        lambda[0] = 1;
+        b[0] = 1;
+        let mut l = 0usize; // current register length
+        let mut m = 1usize;
+        let mut bb = 1u8; // last non-zero discrepancy
+
+        for n_iter in 0..nroots {
+            let mut delta = syn[n_iter];
+            for i in 1..=l {
+                delta ^= self.gf.mul(lambda[i], syn[n_iter - i]);
+            }
+            if delta == 0 {
+                m += 1;
+            } else if 2 * l <= n_iter {
+                let t_poly = lambda.clone();
+                let coef = self.gf.div(delta, bb);
+                for i in 0..=nroots {
+                    if i >= m && b[i - m] != 0 {
+                        lambda[i] ^= self.gf.mul(coef, b[i - m]);
+                    }
+                }
+                b = t_poly;
+                l = n_iter + 1 - l;
+                bb = delta;
+                m = 1;
+            } else {
+                let coef = self.gf.div(delta, bb);
+                for i in 0..=nroots {
+                    if i >= m && b[i - m] != 0 {
+                        lambda[i] ^= self.gf.mul(coef, b[i - m]);
+                    }
+                }
+                m += 1;
+            }
+        }
+
+        let deg = lambda.iter().rposition(|&c| c != 0).unwrap_or(0);
+        if deg == 0 || deg > t || deg != l {
+            return None;
+        }
+
+        // Chien search: positions i where Lambda(alpha^{-i}) == 0.
+        let mut positions = Vec::with_capacity(deg);
+        for i in 0..self.n {
+            let x_inv = self.gf.alpha_pow((Q - 1 - i % (Q - 1)) % (Q - 1));
+            if self.poly_eval(&lambda[..=deg], x_inv) == 0 {
+                positions.push(i);
+            }
+        }
+        if positions.len() != deg {
+            return None;
+        }
+
+        // Forney: Omega(x) = S(x) * Lambda(x) mod x^nroots.
+        let mut omega = vec![0u8; nroots];
+        for (i, om) in omega.iter_mut().enumerate() {
+            let mut acc = 0u8;
+            for j in 0..=i.min(deg) {
+                if lambda[j] != 0 && i - j < nroots {
+                    acc ^= self.gf.mul(lambda[j], syn[i - j]);
+                }
+            }
+            *om = acc;
+        }
+        // Lambda'(x): formal derivative (odd-degree terms shift down).
+        let mut dlambda = vec![0u8; deg.max(1)];
+        for (i, dl) in dlambda.iter_mut().enumerate() {
+            if i % 2 == 0 && i < deg {
+                *dl = lambda[i + 1];
+            }
+        }
+
+        let mut out = Vec::with_capacity(deg);
+        for &pos in &positions {
+            let x_inv = self.gf.alpha_pow((Q - 1 - pos % (Q - 1)) % (Q - 1));
+            let num = self.poly_eval(&omega, x_inv);
+            let den = self.poly_eval(&dlambda, x_inv);
+            if den == 0 {
+                return None;
+            }
+            // fcr = 1: magnitude = X * Omega(X^-1) / Lambda'(X^-1) with
+            // X = alpha^pos ... for fcr=1 the X^{1-fcr} factor is X^0 = 1
+            // after absorbing the convention S_j = E(alpha^{j+1}).
+            let mag = self.gf.div(num, den);
+            if mag == 0 {
+                return None;
+            }
+            out.push((pos, mag));
+        }
+        Some(out)
+    }
+
+    fn poly_eval(&self, poly: &[u8], x: u8) -> u8 {
+        let mut acc = 0u8;
+        for &c in poly.iter().rev() {
+            acc = self.gf.mul(acc, x) ^ c;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf::{GF16, GF256};
+
+    fn ssc18() -> RsCode<256> {
+        RsCode::new(&GF256, 18, 16) // t = 1
+    }
+
+    fn dec256() -> RsCode<256> {
+        RsCode::new(&GF256, 18, 14) // t = 2
+    }
+
+    #[test]
+    fn clean_vector_is_clean() {
+        assert_eq!(ssc18().decode_error(&[0; 18]), RsOutcome::Clean);
+    }
+
+    #[test]
+    fn all_single_symbol_errors_corrected() {
+        let code = ssc18();
+        for pos in 0..18 {
+            for mag in 1..16u8 {
+                let mut e = [0u8; 18];
+                e[pos] = mag;
+                assert_eq!(
+                    code.decode_error(&e),
+                    RsOutcome::Corrected,
+                    "pos={pos} mag={mag}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_symbol_errors_never_corrupt_silently_without_notice() {
+        // With t=1, double-symbol errors are either detected or miscorrected
+        // (d=3 cannot guarantee detection) — but never "Corrected".
+        let code = ssc18();
+        let mut detected = 0;
+        let mut miscorrected = 0;
+        for p1 in 0..18 {
+            for p2 in (p1 + 1)..18 {
+                for m1 in [1u8, 7, 15] {
+                    for m2 in [3u8, 9] {
+                        let mut e = [0u8; 18];
+                        e[p1] = m1;
+                        e[p2] = m2;
+                        match code.decode_error(&e) {
+                            RsOutcome::Detected => detected += 1,
+                            RsOutcome::Miscorrected => miscorrected += 1,
+                            other => panic!("{p1},{p2}: unexpected {other:?}"),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(detected > 0, "some doubles must be detected");
+        assert!(miscorrected > 0, "d=3 implies some doubles miscorrect");
+    }
+
+    #[test]
+    fn t2_code_corrects_doubles_gf256() {
+        let code = dec256();
+        assert_eq!(code.t(), 2);
+        for (p1, p2) in [(0usize, 1usize), (3, 11), (16, 17), (5, 9)] {
+            for (m1, m2) in [(1u8, 255u8), (170, 85), (7, 7)] {
+                let mut e = [0u8; 18];
+                e[p1] = m1;
+                e[p2] = m2;
+                assert_eq!(
+                    code.decode_error(&e),
+                    RsOutcome::Corrected,
+                    "pos {p1},{p2} mags {m1},{m2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t2_code_flags_triples() {
+        let code = dec256();
+        let mut silent_ok = 0;
+        let mut flagged = 0;
+        for (a, b, c) in [(0usize, 5usize, 9usize), (1, 2, 3), (10, 13, 17)] {
+            let mut e = [0u8; 18];
+            e[a] = 0x11;
+            e[b] = 0x22;
+            e[c] = 0x33;
+            match code.decode_error(&e) {
+                RsOutcome::Detected => flagged += 1,
+                RsOutcome::Miscorrected | RsOutcome::Undetected => silent_ok += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(flagged + silent_ok == 3 && flagged > 0);
+    }
+
+    #[test]
+    fn syndromes_of_clean_are_zero() {
+        assert!(ssc18().syndromes(&[0; 18]).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn detection_only_code_detects() {
+        // n - k = 1: a parity-style RS code, t = 0.
+        let code = RsCode::<256>::new(&GF256, 18, 17);
+        let mut e = [0u8; 18];
+        e[4] = 9;
+        assert_eq!(code.decode_error(&e), RsOutcome::Detected);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < k < n")]
+    fn rejects_bad_dims() {
+        let _ = RsCode::<16>::new(&GF16, 5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "block length exceeds")]
+    fn rejects_block_too_long_for_field() {
+        let _ = RsCode::<16>::new(&GF16, 18, 16);
+    }
+
+    #[test]
+    fn gf16_code_within_limits_corrects_singles() {
+        let code = RsCode::<16>::new(&GF16, 15, 13);
+        for pos in 0..15 {
+            let mut e = [0u8; 15];
+            e[pos] = 0xA;
+            assert_eq!(code.decode_error(&e), RsOutcome::Corrected, "pos={pos}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_vector_len() {
+        let _ = ssc18().syndromes(&[0u8; 5]);
+    }
+}

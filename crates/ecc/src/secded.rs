@@ -1,0 +1,256 @@
+//! Hsiao (72,64) SEC-DED code.
+//!
+//! The classic single-error-correct / double-error-detect code used for a
+//! 72-bit memory word (64 data + 8 check bits), built from odd-weight
+//! columns as in Hsiao (1970) \[4\]. All 56 weight-3 columns plus 8 weight-5
+//! columns cover the 64 data bits; check bits use the 8 weight-1 columns.
+//!
+//! Because the code is linear, the decoder's behaviour depends only on the
+//! *error pattern*, so [`Hsiao7264::decode_error`] classifies a raw 72-bit
+//! error mask directly: this is what the platform ECC models feed it.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in the code word.
+pub const WORD_BITS: usize = 72;
+/// Number of check bits.
+pub const CHECK_BITS: usize = 8;
+/// Number of data bits.
+pub const DATA_BITS: usize = 64;
+
+/// Per-word decode result for an injected error pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WordOutcome {
+    /// No erroneous bits.
+    Clean,
+    /// A single-bit error, corrected; the payload is the bit position.
+    Corrected(u8),
+    /// The error was detected but is uncorrectable (raises a UE).
+    Detected,
+    /// The decoder "corrected" the wrong bit: silent data corruption.
+    Miscorrected,
+    /// The error is a code word: entirely invisible to the decoder.
+    Undetected,
+}
+
+impl WordOutcome {
+    /// True when the memory controller would signal an uncorrectable error.
+    pub fn is_ue(self) -> bool {
+        matches!(self, WordOutcome::Detected)
+    }
+
+    /// True when data is silently wrong after decoding.
+    pub fn is_sdc(self) -> bool {
+        matches!(self, WordOutcome::Miscorrected | WordOutcome::Undetected)
+    }
+}
+
+/// The Hsiao (72,64) SEC-DED code.
+///
+/// # Examples
+///
+/// ```
+/// use mfp_ecc::secded::{Hsiao7264, WordOutcome};
+///
+/// let code = Hsiao7264::new();
+/// // single-bit errors are always corrected
+/// assert_eq!(code.decode_error(1u128 << 17), WordOutcome::Corrected(17));
+/// // double-bit errors are always detected
+/// assert_eq!(code.decode_error(0b11u128), WordOutcome::Detected);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hsiao7264 {
+    /// `columns[i]` is the 8-bit parity-check column for code bit `i`.
+    columns: [u8; WORD_BITS],
+    /// Reverse map from syndrome to bit position (0xFF = not a column).
+    position_of: [u8; 256],
+}
+
+impl Default for Hsiao7264 {
+    fn default() -> Self {
+        Hsiao7264::new()
+    }
+}
+
+impl Hsiao7264 {
+    /// Constructs the code's parity-check matrix.
+    pub fn new() -> Self {
+        let mut columns = [0u8; WORD_BITS];
+        let mut idx = 0;
+        // Data bits: all 56 weight-3 columns...
+        for c in 0u16..=255 {
+            if (c as u8).count_ones() == 3 {
+                columns[idx] = c as u8;
+                idx += 1;
+            }
+        }
+        // ...plus the first 8 weight-5 columns.
+        for c in 0u16..=255 {
+            if idx == DATA_BITS {
+                break;
+            }
+            if (c as u8).count_ones() == 5 {
+                columns[idx] = c as u8;
+                idx += 1;
+            }
+        }
+        debug_assert_eq!(idx, DATA_BITS);
+        // Check bits: weight-1 columns (identity block).
+        for i in 0..CHECK_BITS {
+            columns[DATA_BITS + i] = 1 << i;
+        }
+        let mut position_of = [0xFFu8; 256];
+        for (i, &c) in columns.iter().enumerate() {
+            position_of[c as usize] = i as u8;
+        }
+        Hsiao7264 {
+            columns,
+            position_of,
+        }
+    }
+
+    /// Computes the 8 check bits for a 64-bit data word.
+    pub fn encode(&self, data: u64) -> u8 {
+        let mut check = 0u8;
+        for (i, &col) in self.columns[..DATA_BITS].iter().enumerate() {
+            if (data >> i) & 1 == 1 {
+                check ^= col;
+            }
+        }
+        check
+    }
+
+    /// Syndrome of a 72-bit error pattern (bit `i` of `error` = code bit `i`
+    /// flipped).
+    pub fn syndrome(&self, error: u128) -> u8 {
+        let mut s = 0u8;
+        let mut e = error & ((1u128 << WORD_BITS) - 1);
+        while e != 0 {
+            let i = e.trailing_zeros() as usize;
+            s ^= self.columns[i];
+            e &= e - 1;
+        }
+        s
+    }
+
+    /// Classifies how the decoder reacts to an injected error pattern.
+    pub fn decode_error(&self, error: u128) -> WordOutcome {
+        let error = error & ((1u128 << WORD_BITS) - 1);
+        if error == 0 {
+            return WordOutcome::Clean;
+        }
+        let s = self.syndrome(error);
+        if s == 0 {
+            return WordOutcome::Undetected;
+        }
+        // Odd-weight syndrome that matches a column: the decoder flips that
+        // bit. Correct only when the true error was exactly that bit.
+        if s.count_ones() % 2 == 1 {
+            let pos = self.position_of[s as usize];
+            if pos != 0xFF {
+                return if error == 1u128 << pos {
+                    WordOutcome::Corrected(pos)
+                } else {
+                    WordOutcome::Miscorrected
+                };
+            }
+            // Odd syndrome, no matching column: >=3 errors, detected.
+            return WordOutcome::Detected;
+        }
+        // Even non-zero syndrome: double-error (or even-count) detection.
+        WordOutcome::Detected
+    }
+
+    /// The parity-check column of code bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 72`.
+    pub fn column(&self, i: usize) -> u8 {
+        self.columns[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_odd_weight_and_distinct() {
+        let c = Hsiao7264::new();
+        let mut seen = [false; 256];
+        for i in 0..WORD_BITS {
+            let col = c.column(i);
+            assert_eq!(col.count_ones() % 2, 1, "column {i} must be odd weight");
+            assert!(!seen[col as usize], "column {i} duplicates another");
+            seen[col as usize] = true;
+        }
+    }
+
+    #[test]
+    fn all_single_errors_corrected() {
+        let c = Hsiao7264::new();
+        for i in 0..WORD_BITS as u8 {
+            assert_eq!(c.decode_error(1u128 << i), WordOutcome::Corrected(i));
+        }
+    }
+
+    #[test]
+    fn all_double_errors_detected() {
+        // The defining property of SEC-DED: no double error is ever
+        // miscorrected or missed. Exhaustive over all 72*71/2 pairs.
+        let c = Hsiao7264::new();
+        for i in 0..WORD_BITS {
+            for j in (i + 1)..WORD_BITS {
+                let e = (1u128 << i) | (1u128 << j);
+                assert_eq!(c.decode_error(e), WordOutcome::Detected, "bits {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn triple_errors_never_silently_clean() {
+        // Triples have odd syndromes: either detected or miscorrected,
+        // never undetected. Spot-check a spread of triples.
+        let c = Hsiao7264::new();
+        for i in (0..WORD_BITS).step_by(5) {
+            for j in (i + 1..WORD_BITS).step_by(7) {
+                for k in (j + 1..WORD_BITS).step_by(11) {
+                    let e = (1u128 << i) | (1u128 << j) | (1u128 << k);
+                    let out = c.decode_error(e);
+                    assert!(
+                        matches!(out, WordOutcome::Detected | WordOutcome::Miscorrected),
+                        "bits {i},{j},{k} gave {out:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_syndrome_consistency() {
+        // Flipping data bit i then re-encoding changes the check bits by
+        // exactly column i.
+        let c = Hsiao7264::new();
+        let data = 0xDEAD_BEEF_CAFE_F00Du64;
+        let base = c.encode(data);
+        for i in 0..DATA_BITS {
+            let flipped = data ^ (1u64 << i);
+            assert_eq!(c.encode(flipped) ^ base, c.column(i), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn clean_word_is_clean() {
+        assert_eq!(Hsiao7264::new().decode_error(0), WordOutcome::Clean);
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(WordOutcome::Detected.is_ue());
+        assert!(!WordOutcome::Corrected(3).is_ue());
+        assert!(WordOutcome::Miscorrected.is_sdc());
+        assert!(WordOutcome::Undetected.is_sdc());
+        assert!(!WordOutcome::Clean.is_sdc());
+    }
+}

@@ -1,0 +1,210 @@
+//! Sample-set assembly: from a fleet's BMC log to labelled feature matrices.
+
+use crate::extract::{extract_features, feature_names};
+use crate::fault_analysis::FaultThresholds;
+use crate::history::DimmHistory;
+use crate::labeling::ProblemConfig;
+use mfp_dram::address::DimmId;
+use mfp_dram::geometry::Platform;
+use mfp_dram::time::SimTime;
+use mfp_sim::fleet::FleetResult;
+use serde::{Deserialize, Serialize};
+
+/// A labelled tabular dataset of prediction samples.
+///
+/// Features are stored row-major (`n x d`, `d =`
+/// [`FEATURE_DIM`](crate::extract::FEATURE_DIM)); each row keeps its DIMM
+/// and evaluation time so results can be aggregated to DIMM level.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SampleSet {
+    /// Feature names (length `d`).
+    pub schema: Vec<String>,
+    /// Row-major feature matrix (`n * d` values).
+    pub features: Vec<f32>,
+    /// Per-sample labels (true = UE within the prediction window).
+    pub labels: Vec<bool>,
+    /// Per-sample DIMM identity.
+    pub dimms: Vec<DimmId>,
+    /// Per-sample evaluation time.
+    pub times: Vec<SimTime>,
+}
+
+impl SampleSet {
+    /// Creates an empty set with the standard schema.
+    pub fn new() -> Self {
+        SampleSet {
+            schema: feature_names(),
+            ..Default::default()
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the set holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// The `i`-th feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.features[i * self.dim()..(i + 1) * self.dim()]
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the schema length.
+    pub fn push(&mut self, row: Vec<f32>, label: bool, dimm: DimmId, time: SimTime) {
+        assert_eq!(row.len(), self.dim(), "feature row has wrong length");
+        self.features.extend(row);
+        self.labels.push(label);
+        self.dimms.push(dimm);
+        self.times.push(time);
+    }
+
+    /// Number of positive samples.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Splits into (train, test) by evaluation time: samples strictly
+    /// before `t` train, the rest test.
+    pub fn split_by_time(&self, t: SimTime) -> (SampleSet, SampleSet) {
+        let mut train = SampleSet::new();
+        let mut test = SampleSet::new();
+        for i in 0..self.len() {
+            let target = if self.times[i] < t { &mut train } else { &mut test };
+            target.push(
+                self.row(i).to_vec(),
+                self.labels[i],
+                self.dimms[i],
+                self.times[i],
+            );
+        }
+        (train, test)
+    }
+
+    /// Retains every positive sample but only each `keep_every`-th negative
+    /// (class rebalancing for training).
+    pub fn downsample_negatives(&self, keep_every: usize) -> SampleSet {
+        assert!(keep_every >= 1);
+        let mut out = SampleSet::new();
+        let mut neg_seen = 0usize;
+        for i in 0..self.len() {
+            if self.labels[i] {
+                out.push(self.row(i).to_vec(), true, self.dimms[i], self.times[i]);
+            } else {
+                if neg_seen.is_multiple_of(keep_every) {
+                    out.push(self.row(i).to_vec(), false, self.dimms[i], self.times[i]);
+                }
+                neg_seen += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Builds the labelled sample set for one platform from a simulated fleet.
+///
+/// Only DIMMs with CE history produce samples; sudden-UE DIMMs contribute
+/// none (the paper omits them for lack of predictive data).
+pub fn build_samples(
+    fleet: &FleetResult,
+    platform: Platform,
+    cfg: &ProblemConfig,
+    thresholds: &FaultThresholds,
+) -> SampleSet {
+    let by_dimm = fleet.log.by_dimm();
+    let mut set = SampleSet::new();
+    for truth in fleet.platform_dimms(platform) {
+        let Some(events) = by_dimm.get(&truth.id) else {
+            continue;
+        };
+        let history = DimmHistory::new(events);
+        for t in cfg.sample_times(&history, fleet.config.horizon) {
+            let Some(label) = cfg.label_at(t, history.first_ue()) else {
+                continue;
+            };
+            let row = extract_features(&history, &truth.spec, t, cfg, thresholds);
+            set.push(row, label, truth.id, t);
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::FEATURE_DIM;
+    use mfp_sim::config::FleetConfig;
+    use mfp_sim::fleet::simulate_fleet;
+
+    fn smoke_samples() -> (FleetResult, SampleSet) {
+        let fleet = simulate_fleet(&FleetConfig::smoke(5));
+        let set = build_samples(
+            &fleet,
+            Platform::IntelPurley,
+            &ProblemConfig::default(),
+            &FaultThresholds::default(),
+        );
+        (fleet, set)
+    }
+
+    #[test]
+    fn build_produces_consistent_matrix() {
+        let (_, set) = smoke_samples();
+        assert!(!set.is_empty());
+        assert_eq!(set.dim(), FEATURE_DIM);
+        assert_eq!(set.features.len(), set.len() * set.dim());
+        assert_eq!(set.dimms.len(), set.len());
+        assert_eq!(set.times.len(), set.len());
+    }
+
+    #[test]
+    fn has_both_classes() {
+        let (_, set) = smoke_samples();
+        let pos = set.positives();
+        assert!(pos > 0, "need positive samples");
+        assert!(pos < set.len(), "need negative samples");
+    }
+
+    #[test]
+    fn split_by_time_partitions() {
+        let (fleet, set) = smoke_samples();
+        let mid = SimTime::ZERO
+            + mfp_dram::time::SimDuration::secs(fleet.config.horizon.as_secs() / 2);
+        let (train, test) = set.split_by_time(mid);
+        assert_eq!(train.len() + test.len(), set.len());
+        assert!(train.times.iter().all(|&t| t < mid));
+        assert!(test.times.iter().all(|&t| t >= mid));
+    }
+
+    #[test]
+    fn downsampling_keeps_positives() {
+        let (_, set) = smoke_samples();
+        let down = set.downsample_negatives(10);
+        assert_eq!(down.positives(), set.positives());
+        assert!(down.len() < set.len());
+    }
+
+    #[test]
+    fn rows_are_views_into_matrix() {
+        let (_, set) = smoke_samples();
+        let r0 = set.row(0).to_vec();
+        assert_eq!(r0.len(), set.dim());
+        assert_eq!(&set.features[..set.dim()], r0.as_slice());
+    }
+}

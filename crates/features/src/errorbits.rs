@@ -1,0 +1,229 @@
+//! Error-bit (DQ / beat) statistics over a DIMM's CEs — the raw material of
+//! the paper's Fig. 5 analysis and of the error-bit feature family.
+
+use mfp_dram::event::CeEvent;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate DQ/beat statistics over a set of CE transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ErrorBitStats {
+    /// Number of CEs aggregated.
+    pub events: u32,
+    /// Maximum distinct erroneous DQ lanes in one CE.
+    pub max_dq_count: u32,
+    /// Mean distinct erroneous DQ lanes per CE.
+    pub mean_dq_count: f32,
+    /// Maximum distinct erroneous beats in one CE.
+    pub max_beat_count: u32,
+    /// Mean distinct erroneous beats per CE.
+    pub mean_beat_count: f32,
+    /// Maximum DQ interval (max - min erroneous lane) in one CE.
+    pub max_dq_interval: u32,
+    /// Maximum beat interval in one CE.
+    pub max_beat_interval: u32,
+    /// Maximum erroneous bits in one CE.
+    pub max_bits: u32,
+    /// CEs with >= 2 DQs *and* >= 2 beats (complex patterns).
+    pub complex_events: u32,
+    /// CEs whose beat interval is exactly 4 (the Purley risk signature).
+    pub interval4_events: u32,
+    /// CEs with >= 4 erroneous DQs (the Whitley risk signature).
+    pub wide_dq_events: u32,
+    /// CEs with >= 5 erroneous beats (the Whitley risk signature).
+    pub many_beat_events: u32,
+    /// Maximum devices touched in one CE.
+    pub max_devices: u32,
+    /// Union of devices touched across all CEs.
+    pub total_devices: u32,
+    /// Max distinct DQ lanes accumulated *within one device* across the
+    /// whole window (union of error bits, as in Li et al. \[7\]).
+    pub union_dev_dq: u32,
+    /// Max distinct beats accumulated within one device across the window.
+    pub union_dev_beats: u32,
+    /// Beat interval (max - min) of the accumulated per-device beat mask.
+    pub union_dev_beat_interval: u32,
+    /// 1 when some device's accumulated beat mask contains a pair of beats
+    /// exactly 4 apart — the Purley risk signature.
+    pub union_dev_interval4: u32,
+    /// DQ interval of the accumulated per-device DQ mask.
+    pub union_dev_dq_interval: u32,
+}
+
+impl ErrorBitStats {
+    /// Computes statistics over CE events (device counts use `width`).
+    pub fn from_ces<'a, I>(ces: I, width: mfp_dram::geometry::DataWidth) -> Self
+    where
+        I: IntoIterator<Item = &'a CeEvent>,
+    {
+        let mut s = ErrorBitStats::default();
+        let mut dq_sum = 0u64;
+        let mut beat_sum = 0u64;
+        let mut device_union = 0u32;
+        let w = width.dq_per_device() as usize;
+        let n_dev = width.devices_per_rank() as usize;
+        let mut dev_dq = vec![0u8; n_dev];
+        let mut dev_beats = vec![0u8; n_dev];
+        for ce in ces {
+            let t = &ce.transfer;
+            let dq = t.dq_count();
+            let beats = t.beat_count();
+            s.events += 1;
+            dq_sum += dq as u64;
+            beat_sum += beats as u64;
+            s.max_dq_count = s.max_dq_count.max(dq);
+            s.max_beat_count = s.max_beat_count.max(beats);
+            s.max_bits = s.max_bits.max(t.bit_count());
+            if let Some(i) = t.dq_interval() {
+                s.max_dq_interval = s.max_dq_interval.max(i);
+            }
+            if let Some(i) = t.beat_interval() {
+                s.max_beat_interval = s.max_beat_interval.max(i);
+                if i == 4 {
+                    s.interval4_events += 1;
+                }
+            }
+            if dq >= 2 && beats >= 2 {
+                s.complex_events += 1;
+            }
+            if dq >= 4 {
+                s.wide_dq_events += 1;
+            }
+            if beats >= 5 {
+                s.many_beat_events += 1;
+            }
+            let devs = t.device_count(width);
+            s.max_devices = s.max_devices.max(devs);
+            device_union |= t.device_mask(width);
+            for (beat, dq) in t.iter_bits() {
+                let dev = (dq as usize / w).min(n_dev - 1);
+                dev_dq[dev] |= 1 << (dq as usize - dev * w);
+                dev_beats[dev] |= 1 << beat;
+            }
+        }
+        if s.events > 0 {
+            s.mean_dq_count = dq_sum as f32 / s.events as f32;
+            s.mean_beat_count = beat_sum as f32 / s.events as f32;
+        }
+        s.total_devices = device_union.count_ones();
+        for dev in 0..n_dev {
+            let dqm = dev_dq[dev];
+            let bm = dev_beats[dev];
+            if dqm == 0 || bm == 0 {
+                continue;
+            }
+            s.union_dev_dq = s.union_dev_dq.max(dqm.count_ones());
+            s.union_dev_beats = s.union_dev_beats.max(bm.count_ones());
+            s.union_dev_beat_interval = s.union_dev_beat_interval.max(mask_span(bm));
+            if bm & (bm >> 4) != 0 {
+                s.union_dev_interval4 = 1;
+            }
+            s.union_dev_dq_interval = s.union_dev_dq_interval.max(mask_span(dqm));
+        }
+        s
+    }
+}
+
+/// Distance between the lowest and highest set bit of a non-zero mask.
+fn mask_span(mask: u8) -> u32 {
+    debug_assert!(mask != 0);
+    (7 - mask.leading_zeros()) - mask.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfp_dram::address::{CellAddr, DimmId};
+    use mfp_dram::bus::ErrorTransfer;
+    use mfp_dram::geometry::DataWidth;
+    use mfp_dram::time::SimTime;
+
+    fn ce(bits: &[(u8, u8)]) -> CeEvent {
+        CeEvent {
+            time: SimTime::from_secs(0),
+            dimm: DimmId::new(0, 0),
+            addr: CellAddr::new(0, 0, 1, 1),
+            transfer: ErrorTransfer::from_bits(bits.iter().copied()),
+        }
+    }
+
+    #[test]
+    fn empty_set_is_default() {
+        let s = ErrorBitStats::from_ces(std::iter::empty(), DataWidth::X4);
+        assert_eq!(s, ErrorBitStats::default());
+    }
+
+    #[test]
+    fn purley_signature_counts() {
+        // 2 DQs, beats {1, 5}: interval 4, complex.
+        let events = [ce(&[(1, 20), (5, 21)])];
+        let s = ErrorBitStats::from_ces(events.iter(), DataWidth::X4);
+        assert_eq!(s.max_dq_count, 2);
+        assert_eq!(s.max_beat_count, 2);
+        assert_eq!(s.max_beat_interval, 4);
+        assert_eq!(s.interval4_events, 1);
+        assert_eq!(s.complex_events, 1);
+        assert_eq!(s.wide_dq_events, 0);
+    }
+
+    #[test]
+    fn whitley_signature_counts() {
+        // A device-wide CE: 4 DQs of device 5 across 5 beats.
+        let bits: Vec<(u8, u8)> = (0..5u8)
+            .flat_map(|b| (0..4u8).map(move |q| (b, 20 + q)))
+            .collect();
+        let events = [ce(&bits)];
+        let s = ErrorBitStats::from_ces(events.iter(), DataWidth::X4);
+        assert_eq!(s.max_dq_count, 4);
+        assert_eq!(s.max_beat_count, 5);
+        assert_eq!(s.wide_dq_events, 1);
+        assert_eq!(s.many_beat_events, 1);
+        assert_eq!(s.max_devices, 1);
+    }
+
+    #[test]
+    fn means_average_over_events() {
+        let events = [ce(&[(0, 0)]), ce(&[(0, 0), (1, 1), (2, 2)])];
+        let s = ErrorBitStats::from_ces(events.iter(), DataWidth::X4);
+        assert_eq!(s.events, 2);
+        assert!((s.mean_dq_count - 2.0).abs() < 1e-6);
+        assert!((s.mean_beat_count - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn union_accumulates_across_events() {
+        // Two single-bit CEs of the same device: individually trivial, but
+        // their union shows 2 DQs across beats {1, 5} — interval 4.
+        let events = [ce(&[(1, 20)]), ce(&[(5, 21)])];
+        let s = ErrorBitStats::from_ces(events.iter(), DataWidth::X4);
+        assert_eq!(s.max_dq_count, 1, "per-event stats stay trivial");
+        assert_eq!(s.union_dev_dq, 2);
+        assert_eq!(s.union_dev_beats, 2);
+        assert_eq!(s.union_dev_beat_interval, 4);
+        assert_eq!(s.union_dev_interval4, 1);
+        assert_eq!(s.union_dev_dq_interval, 1);
+    }
+
+    #[test]
+    fn union_is_per_device_not_global() {
+        // Bits on two different devices never merge into one footprint.
+        let events = [ce(&[(1, 0)]), ce(&[(5, 40)])];
+        let s = ErrorBitStats::from_ces(events.iter(), DataWidth::X4);
+        assert_eq!(s.union_dev_dq, 1);
+        assert_eq!(s.union_dev_interval4, 0);
+    }
+
+    #[test]
+    fn mask_span_measures_distance() {
+        assert_eq!(mask_span(0b0010_0010), 4);
+        assert_eq!(mask_span(0b1000_0001), 7);
+        assert_eq!(mask_span(0b0000_1000), 0);
+    }
+
+    #[test]
+    fn device_union_accumulates() {
+        let events = [ce(&[(0, 0)]), ce(&[(0, 40)])];
+        let s = ErrorBitStats::from_ces(events.iter(), DataWidth::X4);
+        assert_eq!(s.max_devices, 1);
+        assert_eq!(s.total_devices, 2);
+    }
+}

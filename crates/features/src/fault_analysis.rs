@@ -1,0 +1,238 @@
+//! Fault-mode classification from observed CE history (paper §V).
+//!
+//! Mirrors the threshold-based definitions of \[12, 29, 30\]: a *cell* fault
+//! is repeated CEs at one cell; *row*/*column* faults are CEs spread along
+//! one row/column; a *bank* fault combines both within one bank; and the
+//! device dimension is read off the error-bit transfers — CEs confined to
+//! one device indicate a *single-device* fault, CEs across several devices
+//! a *multi-device* fault. A DIMM can carry several labels at once, exactly
+//! as in the paper's Fig. 4 methodology.
+
+use crate::history::DimmHistory;
+use mfp_dram::event::CeEvent;
+use mfp_dram::geometry::DataWidth;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Thresholds for classifying fault modes from CEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultThresholds {
+    /// Repeated CEs at one cell to call it a cell fault.
+    pub cell_repeats: u32,
+    /// Distinct columns within one row to call it a row fault.
+    pub row_distinct_cols: u32,
+    /// Distinct rows within one column to call it a column fault.
+    pub col_distinct_rows: u32,
+    /// Distinct faulty rows and columns within one bank for a bank fault.
+    pub bank_distinct: u32,
+}
+
+impl Default for FaultThresholds {
+    fn default() -> Self {
+        FaultThresholds {
+            cell_repeats: 2,
+            row_distinct_cols: 2,
+            col_distinct_rows: 2,
+            bank_distinct: 3,
+        }
+    }
+}
+
+/// Fault-mode labels observed on a DIMM (non-exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ObservedFaults {
+    /// Repeated CEs at a single cell.
+    pub cell: bool,
+    /// CEs across a row.
+    pub row: bool,
+    /// CEs across a column.
+    pub column: bool,
+    /// CEs across rows *and* columns of one bank.
+    pub bank: bool,
+    /// All error bits confined to one DRAM device.
+    pub single_device: bool,
+    /// Error bits observed on two or more devices.
+    pub multi_device: bool,
+}
+
+impl ObservedFaults {
+    /// Label names in Fig. 4 display order.
+    pub const LABELS: [&'static str; 6] =
+        ["cell", "column", "row", "bank", "single-device", "multi-device"];
+
+    /// The labels as booleans, in [`Self::LABELS`] order.
+    pub fn flags(&self) -> [bool; 6] {
+        [
+            self.cell,
+            self.column,
+            self.row,
+            self.bank,
+            self.single_device,
+            self.multi_device,
+        ]
+    }
+}
+
+/// Classifies the fault modes evident in a CE sequence.
+pub fn classify_ces<'a, I>(ces: I, width: DataWidth, th: &FaultThresholds) -> ObservedFaults
+where
+    I: IntoIterator<Item = &'a CeEvent>,
+{
+    // Spatial aggregation keyed by (rank, bank).
+    let mut cell_counts: BTreeMap<(u8, u8, u32, u16), u32> = BTreeMap::new();
+    let mut row_cols: BTreeMap<(u8, u8, u32), BTreeSet<u16>> = BTreeMap::new();
+    let mut col_rows: BTreeMap<(u8, u8, u16), BTreeSet<u32>> = BTreeMap::new();
+    let mut bank_rows: BTreeMap<(u8, u8), BTreeSet<u32>> = BTreeMap::new();
+    let mut bank_cols: BTreeMap<(u8, u8), BTreeSet<u16>> = BTreeMap::new();
+    let mut devices: u32 = 0;
+    let mut any = false;
+
+    for ce in ces {
+        any = true;
+        let a = ce.addr;
+        *cell_counts
+            .entry((a.rank, a.bank, a.row, a.col))
+            .or_default() += 1;
+        row_cols
+            .entry((a.rank, a.bank, a.row))
+            .or_default()
+            .insert(a.col);
+        col_rows
+            .entry((a.rank, a.bank, a.col))
+            .or_default()
+            .insert(a.row);
+        bank_rows.entry((a.rank, a.bank)).or_default().insert(a.row);
+        bank_cols.entry((a.rank, a.bank)).or_default().insert(a.col);
+        devices |= ce.transfer.device_mask(width);
+    }
+
+    if !any {
+        return ObservedFaults::default();
+    }
+
+    let cell = cell_counts.values().any(|&c| c >= th.cell_repeats);
+    let row = row_cols
+        .values()
+        .any(|cols| cols.len() as u32 >= th.row_distinct_cols);
+    let column = col_rows
+        .values()
+        .any(|rows| rows.len() as u32 >= th.col_distinct_rows);
+    let bank = bank_rows.iter().any(|(key, rows)| {
+        rows.len() as u32 >= th.bank_distinct
+            && bank_cols
+                .get(key)
+                .is_some_and(|cols| cols.len() as u32 >= th.bank_distinct)
+    });
+    let n_devices = devices.count_ones();
+    ObservedFaults {
+        cell,
+        row,
+        column,
+        bank,
+        single_device: n_devices == 1,
+        multi_device: n_devices >= 2,
+    }
+}
+
+/// Classifies a DIMM's whole history up to (excluding) `before`.
+pub fn classify_history(
+    history: &DimmHistory<'_>,
+    before: mfp_dram::time::SimTime,
+    width: DataWidth,
+    th: &FaultThresholds,
+) -> ObservedFaults {
+    classify_ces(
+        history.ces_in(mfp_dram::time::SimTime::ZERO, before),
+        width,
+        th,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfp_dram::address::{CellAddr, DimmId};
+    use mfp_dram::bus::ErrorTransfer;
+    use mfp_dram::time::SimTime;
+
+    fn ce_at(t: u64, bank: u8, row: u32, col: u16, dev: u8) -> CeEvent {
+        CeEvent {
+            time: SimTime::from_secs(t),
+            dimm: DimmId::new(0, 0),
+            addr: CellAddr::new(0, bank, row, col),
+            transfer: ErrorTransfer::from_bits([(0, dev * 4)]),
+        }
+    }
+
+    #[test]
+    fn repeated_cell_is_cell_fault() {
+        let ces = [ce_at(1, 0, 5, 5, 0), ce_at(2, 0, 5, 5, 0)];
+        let f = classify_ces(ces.iter(), DataWidth::X4, &FaultThresholds::default());
+        assert!(f.cell);
+        assert!(!f.row && !f.column && !f.bank);
+        assert!(f.single_device && !f.multi_device);
+    }
+
+    #[test]
+    fn spread_along_row_is_row_fault() {
+        let ces = [ce_at(1, 0, 5, 1, 0), ce_at(2, 0, 5, 2, 0)];
+        let f = classify_ces(ces.iter(), DataWidth::X4, &FaultThresholds::default());
+        assert!(f.row && !f.cell && !f.column);
+    }
+
+    #[test]
+    fn spread_along_column_is_column_fault() {
+        let ces = [ce_at(1, 0, 5, 1, 0), ce_at(2, 0, 9, 1, 0)];
+        let f = classify_ces(ces.iter(), DataWidth::X4, &FaultThresholds::default());
+        assert!(f.column && !f.row);
+    }
+
+    #[test]
+    fn bank_fault_needs_rows_and_cols() {
+        let ces = [ce_at(1, 2, 1, 1, 0),
+            ce_at(2, 2, 2, 2, 0),
+            ce_at(3, 2, 3, 3, 0)];
+        let f = classify_ces(ces.iter(), DataWidth::X4, &FaultThresholds::default());
+        assert!(f.bank, "3 distinct rows x 3 distinct cols in one bank");
+        // Same dispersion split across two banks is not a bank fault.
+        let ces2 = [ce_at(1, 2, 1, 1, 0),
+            ce_at(2, 2, 2, 2, 0),
+            ce_at(3, 3, 3, 3, 0)];
+        let f2 = classify_ces(ces2.iter(), DataWidth::X4, &FaultThresholds::default());
+        assert!(!f2.bank);
+    }
+
+    #[test]
+    fn device_dimension_from_transfers() {
+        let single = [ce_at(1, 0, 1, 1, 3), ce_at(2, 0, 2, 2, 3)];
+        let f = classify_ces(single.iter(), DataWidth::X4, &FaultThresholds::default());
+        assert!(f.single_device && !f.multi_device);
+
+        let multi = [ce_at(1, 0, 1, 1, 3), ce_at(2, 0, 2, 2, 9)];
+        let f = classify_ces(multi.iter(), DataWidth::X4, &FaultThresholds::default());
+        assert!(f.multi_device && !f.single_device);
+    }
+
+    #[test]
+    fn empty_history_has_no_labels() {
+        let f = classify_ces(
+            std::iter::empty(),
+            DataWidth::X4,
+            &FaultThresholds::default(),
+        );
+        assert_eq!(f, ObservedFaults::default());
+    }
+
+    #[test]
+    fn labels_and_flags_align() {
+        let f = ObservedFaults {
+            cell: true,
+            multi_device: true,
+            ..Default::default()
+        };
+        let flags = f.flags();
+        assert!(flags[0]); // cell
+        assert!(flags[5]); // multi-device
+        assert_eq!(ObservedFaults::LABELS.len(), flags.len());
+    }
+}

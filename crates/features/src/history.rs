@@ -1,0 +1,201 @@
+//! Per-DIMM event history with efficient time-window queries.
+
+use mfp_dram::event::{CeEvent, MemEvent};
+use mfp_dram::time::{SimDuration, SimTime};
+
+/// A DIMM's time-ordered event slice with binary-search window access.
+///
+/// # Examples
+///
+/// ```
+/// use mfp_features::history::DimmHistory;
+/// use mfp_dram::prelude::*;
+///
+/// let events = vec![MemEvent::Ce(CeEvent {
+///     time: SimTime::from_secs(100),
+///     dimm: DimmId::new(0, 0),
+///     addr: CellAddr::new(0, 0, 1, 1),
+///     transfer: ErrorTransfer::from_bits([(0, 0)]),
+/// })];
+/// let refs: Vec<&MemEvent> = events.iter().collect();
+/// let h = DimmHistory::new(&refs);
+/// assert_eq!(h.ces_in(SimTime::from_secs(0), SimTime::from_secs(200)).count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DimmHistory<'a> {
+    events: &'a [&'a MemEvent],
+}
+
+impl<'a> DimmHistory<'a> {
+    /// Wraps a time-sorted event slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the slice is not time-ordered.
+    pub fn new(events: &'a [&'a MemEvent]) -> Self {
+        debug_assert!(
+            events.windows(2).all(|w| w[0].time() <= w[1].time()),
+            "events must be time-ordered"
+        );
+        DimmHistory { events }
+    }
+
+    /// All events.
+    pub fn events(&self) -> &'a [&'a MemEvent] {
+        self.events
+    }
+
+    /// Index of the first event at or after `t`.
+    pub fn idx_at(&self, t: SimTime) -> usize {
+        self.events.partition_point(|e| e.time() < t)
+    }
+
+    /// Events in the half-open interval `[from, to)`.
+    pub fn between(&self, from: SimTime, to: SimTime) -> &'a [&'a MemEvent] {
+        let lo = self.idx_at(from);
+        let hi = self.idx_at(to);
+        &self.events[lo..hi]
+    }
+
+    /// CE events in `[from, to)`.
+    pub fn ces_in(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &'a CeEvent> {
+        self.between(from, to).iter().filter_map(|e| e.as_ce())
+    }
+
+    /// CE events in the window of length `win` ending at `t` (exclusive).
+    pub fn ces_in_window(&self, t: SimTime, win: SimDuration) -> impl Iterator<Item = &'a CeEvent> {
+        self.ces_in(t.saturating_sub(win), t)
+    }
+
+    /// Number of CE events in the window ending at `t`.
+    pub fn ce_count_in_window(&self, t: SimTime, win: SimDuration) -> u32 {
+        self.ces_in_window(t, win).count() as u32
+    }
+
+    /// Number of storm events in the window ending at `t`.
+    pub fn storm_count_in_window(&self, t: SimTime, win: SimDuration) -> u32 {
+        self.between(t.saturating_sub(win), t)
+            .iter()
+            .filter(|e| e.as_storm().is_some())
+            .count() as u32
+    }
+
+    /// Time of the first UE, if any.
+    pub fn first_ue(&self) -> Option<SimTime> {
+        self.events.iter().find(|e| e.is_ue()).map(|e| e.time())
+    }
+
+    /// Time of the first CE, if any.
+    pub fn first_ce(&self) -> Option<SimTime> {
+        self.events
+            .iter()
+            .find(|e| e.as_ce().is_some())
+            .map(|e| e.time())
+    }
+
+    /// Time of the last CE strictly before `t`, if any.
+    pub fn last_ce_before(&self, t: SimTime) -> Option<SimTime> {
+        self.events[..self.idx_at(t)]
+            .iter()
+            .rev()
+            .find(|e| e.as_ce().is_some())
+            .map(|e| e.time())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfp_dram::address::{CellAddr, DimmId};
+    use mfp_dram::bus::ErrorTransfer;
+    use mfp_dram::event::{CeStormEvent, UeEvent};
+
+    fn ce(t: u64) -> MemEvent {
+        MemEvent::Ce(CeEvent {
+            time: SimTime::from_secs(t),
+            dimm: DimmId::new(0, 0),
+            addr: CellAddr::new(0, 0, 1, 1),
+            transfer: ErrorTransfer::from_bits([(0, 0)]),
+        })
+    }
+
+    fn ue(t: u64) -> MemEvent {
+        MemEvent::Ue(UeEvent {
+            time: SimTime::from_secs(t),
+            dimm: DimmId::new(0, 0),
+            addr: CellAddr::new(0, 0, 1, 1),
+            transfer: ErrorTransfer::from_bits([(0, 0), (0, 1)]),
+        })
+    }
+
+    fn storm(t: u64) -> MemEvent {
+        MemEvent::Storm(CeStormEvent {
+            time: SimTime::from_secs(t),
+            dimm: DimmId::new(0, 0),
+            count: 12,
+        })
+    }
+
+    #[test]
+    fn window_queries_count_correctly() {
+        let events = [ce(10), ce(50), storm(60), ce(100), ue(150)];
+        let refs: Vec<&MemEvent> = events.iter().collect();
+        let h = DimmHistory::new(&refs);
+        assert_eq!(
+            h.ce_count_in_window(SimTime::from_secs(101), SimDuration::secs(60)),
+            2
+        );
+        assert_eq!(
+            h.ce_count_in_window(SimTime::from_secs(101), SimDuration::secs(10)),
+            1
+        );
+        assert_eq!(
+            h.storm_count_in_window(SimTime::from_secs(200), SimDuration::secs(200)),
+            1
+        );
+    }
+
+    #[test]
+    fn boundaries_are_half_open() {
+        let events = [ce(100)];
+        let refs: Vec<&MemEvent> = events.iter().collect();
+        let h = DimmHistory::new(&refs);
+        // [from, to): event at exactly `to` is excluded, at `from` included.
+        assert_eq!(
+            h.ces_in(SimTime::from_secs(100), SimTime::from_secs(101))
+                .count(),
+            1
+        );
+        assert_eq!(
+            h.ces_in(SimTime::from_secs(50), SimTime::from_secs(100))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn first_and_last_accessors() {
+        let events = [ce(10), ce(50), ue(150)];
+        let refs: Vec<&MemEvent> = events.iter().collect();
+        let h = DimmHistory::new(&refs);
+        assert_eq!(h.first_ce(), Some(SimTime::from_secs(10)));
+        assert_eq!(h.first_ue(), Some(SimTime::from_secs(150)));
+        assert_eq!(
+            h.last_ce_before(SimTime::from_secs(60)),
+            Some(SimTime::from_secs(50))
+        );
+        assert_eq!(h.last_ce_before(SimTime::from_secs(10)), None);
+    }
+
+    #[test]
+    fn empty_history_is_harmless() {
+        let refs: Vec<&MemEvent> = Vec::new();
+        let h = DimmHistory::new(&refs);
+        assert_eq!(h.first_ce(), None);
+        assert_eq!(h.first_ue(), None);
+        assert_eq!(
+            h.ce_count_in_window(SimTime::from_secs(100), SimDuration::days(5)),
+            0
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Random Forest: bagged CART trees with feature subsampling, trained in
+//! parallel with crossbeam scoped threads.
+
+use crate::binning::BinnedData;
+use crate::tree::{DecisionTree, TreeParams};
+use mfp_features::dataset::SampleSet;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Random Forest hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters (feature subsample defaults to sqrt(d) when 0).
+    pub tree: TreeParams,
+    /// Histogram bins.
+    pub max_bins: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 150,
+            tree: TreeParams {
+                max_depth: 8,
+                min_samples_leaf: 15,
+                feature_subsample: 0,
+            },
+            max_bins: 64,
+            seed: 7,
+        }
+    }
+}
+
+/// A trained Random Forest classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    params: ForestParams,
+    importance: Vec<f64>,
+}
+
+impl RandomForest {
+    /// Trains a forest on the sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty.
+    pub fn fit(train: &SampleSet, params: &ForestParams) -> Self {
+        assert!(!train.is_empty(), "empty training set");
+        let data = BinnedData::from_samples(train, params.max_bins);
+        let labels = &train.labels;
+        let n = train.len();
+        let mut tree_params = params.tree;
+        if tree_params.feature_subsample == 0 {
+            tree_params.feature_subsample = (train.dim() as f64).sqrt().ceil() as usize;
+        }
+
+        let workers = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(4)
+            .min(params.n_trees.max(1));
+        let mut trees: Vec<(usize, DecisionTree)> = Vec::with_capacity(params.n_trees);
+        crossbeam::scope(|s| {
+            let data = &data;
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let seed = params.seed;
+                let tree_params = tree_params;
+                handles.push(s.spawn(move |_| {
+                    let mut out = Vec::new();
+                    let mut importance = vec![0.0f64; data.d];
+                    let mut t = w;
+                    while t < params.n_trees {
+                        let mut rng = StdRng::seed_from_u64(seed ^ ((t as u64 + 1) * 0x9E37));
+                        // Bootstrap sample.
+                        let indices: Vec<u32> =
+                            (0..n).map(|_| rng.random_range(0..n) as u32).collect();
+                        let tree = DecisionTree::fit_with_importance(
+                            data,
+                            labels,
+                            &indices,
+                            &tree_params,
+                            &mut rng,
+                            &mut importance,
+                        );
+                        out.push((t, tree));
+                        t += workers;
+                    }
+                    (out, importance)
+                }));
+            }
+            let mut importance = vec![0.0f64; train.dim()];
+            for h in handles {
+                let (part, imp) = h.join().expect("forest worker panicked");
+                trees.extend(part);
+                for (a, b) in importance.iter_mut().zip(imp) {
+                    *a += b;
+                }
+            }
+            trees.sort_by_key(|&(t, _)| t);
+            let total: f64 = importance.iter().sum();
+            if total > 0.0 {
+                importance.iter_mut().for_each(|v| *v /= total);
+            }
+            RandomForest {
+                trees: trees.into_iter().map(|(_, t)| t).collect(),
+                params: *params,
+                importance,
+            }
+        })
+        .expect("crossbeam scope")
+    }
+
+    /// Normalized Gini-gain feature importance (sums to 1).
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Mean positive-class probability across trees.
+    pub fn predict_proba(&self, row: &[f32]) -> f32 {
+        let sum: f32 = self.trees.iter().map(|t| t.predict_proba(row)).sum();
+        sum / self.trees.len().max(1) as f32
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfp_dram::address::DimmId;
+    use mfp_dram::time::SimTime;
+
+    fn noisy_set(seed: u64, n: usize) -> SampleSet {
+        // y = (x0 + x1 > 1) with a noisy third feature.
+        let mut s = SampleSet::new();
+        s.schema = vec!["a".into(), "b".into(), "noise".into()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            let x0: f32 = rng.random();
+            let x1: f32 = rng.random();
+            let noise: f32 = rng.random();
+            s.push(
+                vec![x0, x1, noise],
+                x0 + x1 > 1.0,
+                DimmId::new(i as u32, 0),
+                SimTime::from_secs(i as u64),
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn forest_beats_chance_on_linear_boundary() {
+        let train = noisy_set(1, 600);
+        let test = noisy_set(2, 300);
+        let params = ForestParams {
+            n_trees: 30,
+            ..Default::default()
+        };
+        let rf = RandomForest::fit(&train, &params);
+        let mut correct = 0;
+        for i in 0..test.len() {
+            let p = rf.predict_proba(test.row(i));
+            if (p > 0.5) == test.labels[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let train = noisy_set(3, 200);
+        let params = ForestParams {
+            n_trees: 8,
+            ..Default::default()
+        };
+        let a = RandomForest::fit(&train, &params);
+        let b = RandomForest::fit(&train, &params);
+        let row = train.row(0);
+        assert_eq!(a.predict_proba(row), b.predict_proba(row));
+        assert_eq!(a.n_trees(), 8);
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let train = noisy_set(4, 100);
+        let rf = RandomForest::fit(
+            &train,
+            &ForestParams {
+                n_trees: 5,
+                ..Default::default()
+            },
+        );
+        for i in 0..train.len() {
+            let p = rf.predict_proba(train.row(i));
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Evaluation metrics: precision / recall / F1 and the paper's VM
+//! Interruption Reduction Rate (VIRR), plus threshold selection and
+//! DIMM-level aggregation of sample-level scores.
+
+use mfp_dram::address::DimmId;
+use mfp_features::dataset::SampleSet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u32,
+    /// False positives.
+    pub fp: u32,
+    /// False negatives.
+    pub fn_: u32,
+    /// True negatives.
+    pub tn: u32,
+}
+
+impl Confusion {
+    /// Builds a confusion matrix from labels and boolean predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn from_predictions(y_true: &[bool], y_pred: &[bool]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len());
+        let mut c = Confusion::default();
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            match (t, p) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (true, false) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision = TP / (TP + FP).
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN).
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// VM Interruption Reduction Rate with cold-migration fraction `y_c`:
+    /// `(1 - y_c / precision) * recall` (paper §IV; negative when precision
+    /// drops below `y_c`, meaning prediction *adds* interruptions).
+    pub fn virr(&self, y_c: f64) -> f64 {
+        let p = self.precision();
+        if p == 0.0 {
+            return 0.0;
+        }
+        (1.0 - y_c / p) * self.recall()
+    }
+}
+
+/// Summary of one evaluated model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The confusion matrix.
+    pub confusion: Confusion,
+    /// Decision threshold used.
+    pub threshold: f32,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1-score.
+    pub f1: f64,
+    /// VIRR at the paper's `y_c = 0.1`.
+    pub virr: f64,
+}
+
+impl Evaluation {
+    /// Computes the summary from a confusion matrix.
+    pub fn from_confusion(c: Confusion, threshold: f32) -> Self {
+        Evaluation {
+            confusion: c,
+            threshold,
+            precision: c.precision(),
+            recall: c.recall(),
+            f1: c.f1(),
+            virr: c.virr(0.1),
+        }
+    }
+}
+
+/// Picks the probability threshold maximizing F1 on `(labels, scores)`.
+///
+/// Scans the distinct score quantiles (up to 200 candidates).
+pub fn best_f1_threshold(labels: &[bool], scores: &[f32]) -> f32 {
+    assert_eq!(labels.len(), scores.len());
+    let mut sorted: Vec<f32> = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.dedup();
+    let candidates: Vec<f32> = if sorted.len() <= 200 {
+        sorted
+    } else {
+        (0..200)
+            .map(|k| sorted[k * (sorted.len() - 1) / 199])
+            .collect()
+    };
+    let mut best = (0.5f32, -1.0f64);
+    for &th in &candidates {
+        let preds: Vec<bool> = scores.iter().map(|&s| s >= th).collect();
+        let f1 = Confusion::from_predictions(labels, &preds).f1();
+        if f1 > best.1 {
+            best = (th, f1);
+        }
+    }
+    best.0
+}
+
+/// Aggregates sample-level scores to DIMM level: a DIMM is *predicted*
+/// failing when any of its samples scores at or above the threshold, and
+/// *actually* failing when any of its samples is labelled positive.
+///
+/// Returns `(y_true, y_pred)` in DIMM order.
+#[allow(clippy::needless_range_loop)] // set columns and scores walked in lockstep
+pub fn dimm_level(set: &SampleSet, scores: &[f32], threshold: f32) -> (Vec<bool>, Vec<bool>) {
+    assert_eq!(set.len(), scores.len());
+    let mut per_dimm: BTreeMap<DimmId, (bool, bool)> = BTreeMap::new();
+    for i in 0..set.len() {
+        let e = per_dimm.entry(set.dimms[i]).or_insert((false, false));
+        e.0 |= set.labels[i];
+        e.1 |= scores[i] >= threshold;
+    }
+    per_dimm.values().copied().unzip()
+}
+
+/// DIMM-level aggregation with an alarm-voting rule: a DIMM is predicted
+/// failing only when `votes` *consecutive* samples (in time order) score at
+/// or above the threshold — the de-duplication production alarm systems
+/// apply to suppress one-off score spikes.
+///
+/// Returns `(y_true, y_pred)` in DIMM order.
+#[allow(clippy::needless_range_loop)] // set columns and scores walked in lockstep
+pub fn dimm_level_vote(
+    set: &SampleSet,
+    scores: &[f32],
+    threshold: f32,
+    votes: usize,
+) -> (Vec<bool>, Vec<bool>) {
+    assert_eq!(set.len(), scores.len());
+    let votes = votes.max(1);
+    // Group sample indices per DIMM (already in time order per DIMM since
+    // build_samples walks each DIMM's grid chronologically).
+    let mut per_dimm: BTreeMap<DimmId, (bool, u32, bool)> = BTreeMap::new(); // (true, run, fired)
+    for i in 0..set.len() {
+        let e = per_dimm.entry(set.dimms[i]).or_insert((false, 0, false));
+        e.0 |= set.labels[i];
+        if scores[i] >= threshold {
+            e.1 += 1;
+            if e.1 as usize >= votes {
+                e.2 = true;
+            }
+        } else {
+            e.1 = 0;
+        }
+    }
+    per_dimm.values().map(|&(t, _, p)| (t, p)).unzip()
+}
+
+/// Picks the threshold maximizing DIMM-level F1 under the voting rule.
+pub fn best_vote_threshold(set: &SampleSet, scores: &[f32], votes: usize) -> f32 {
+    assert_eq!(set.len(), scores.len());
+    let mut sorted: Vec<f32> = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.dedup();
+    let candidates: Vec<f32> = if sorted.len() <= 100 {
+        sorted
+    } else {
+        (0..100)
+            .map(|k| sorted[k * (sorted.len() - 1) / 99])
+            .collect()
+    };
+    let mut scored: Vec<(f32, f64)> = Vec::with_capacity(candidates.len());
+    let mut best_f1 = -1.0f64;
+    for &th in &candidates {
+        let (y_true, y_pred) = dimm_level_vote(set, scores, th, votes);
+        let f1 = Confusion::from_predictions(&y_true, &y_pred).f1();
+        scored.push((th, f1));
+        best_f1 = best_f1.max(f1);
+    }
+    // Among near-optimal thresholds, prefer the lowest (recall-leaning):
+    // validation F1 surfaces are spiky with few positive DIMMs, and a
+    // lower operating point transfers more robustly to longer windows.
+    scored
+        .iter()
+        .filter(|&&(_, f1)| f1 >= best_f1 * 0.98)
+        .map(|&(th, _)| th)
+        .fold(f32::INFINITY, f32::min)
+        .min(1.0)
+}
+
+/// One point of a precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Decision threshold.
+    pub threshold: f32,
+    /// Precision at this threshold.
+    pub precision: f64,
+    /// Recall at this threshold.
+    pub recall: f64,
+}
+
+/// Precision-recall curve over up to `max_points` threshold quantiles,
+/// ordered by increasing recall.
+pub fn pr_curve(labels: &[bool], scores: &[f32], max_points: usize) -> Vec<PrPoint> {
+    assert_eq!(labels.len(), scores.len());
+    let mut sorted: Vec<f32> = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.dedup();
+    let max_points = max_points.max(2);
+    let thresholds: Vec<f32> = if sorted.len() <= max_points {
+        sorted
+    } else {
+        (0..max_points)
+            .map(|k| sorted[k * (sorted.len() - 1) / (max_points - 1)])
+            .collect()
+    };
+    let mut points: Vec<PrPoint> = thresholds
+        .into_iter()
+        .map(|threshold| {
+            let preds: Vec<bool> = scores.iter().map(|&s| s >= threshold).collect();
+            let c = Confusion::from_predictions(labels, &preds);
+            PrPoint {
+                threshold,
+                precision: c.precision(),
+                recall: c.recall(),
+            }
+        })
+        .collect();
+    points.sort_by(|a, b| a.recall.partial_cmp(&b.recall).unwrap());
+    points
+}
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) statistic,
+/// with midrank tie handling. Returns 0.5 when one class is absent.
+pub fn roc_auc(labels: &[bool], scores: &[f32]) -> f64 {
+    assert_eq!(labels.len(), scores.len());
+    let mut pairs: Vec<(f32, bool)> = scores.iter().copied().zip(labels.iter().copied()).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let n = pairs.len();
+    let mut rank_sum = 0.0f64;
+    let mut pos = 0u64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j) as f64 / 2.0;
+        for p in &pairs[i..j] {
+            if p.1 {
+                rank_sum += avg_rank;
+                pos += 1;
+            }
+        }
+        i = j;
+    }
+    let neg = n as u64 - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    (rank_sum - (pos * (pos + 1) / 2) as f64) / (pos as f64 * neg as f64)
+}
+
+/// Picks the threshold maximizing *DIMM-level* F1 on a validation set.
+pub fn best_dimm_f1_threshold(set: &SampleSet, scores: &[f32]) -> f32 {
+    assert_eq!(set.len(), scores.len());
+    let mut sorted: Vec<f32> = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.dedup();
+    let candidates: Vec<f32> = if sorted.len() <= 100 {
+        sorted
+    } else {
+        (0..100)
+            .map(|k| sorted[k * (sorted.len() - 1) / 99])
+            .collect()
+    };
+    let mut best = (0.5f32, -1.0f64);
+    for &th in &candidates {
+        let (y_true, y_pred) = dimm_level(set, scores, th);
+        let f1 = Confusion::from_predictions(&y_true, &y_pred).f1();
+        if f1 > best.1 {
+            best = (th, f1);
+        }
+    }
+    best.0
+}
+
+/// Full evaluation pipeline at DIMM level: threshold tuned on
+/// `(val_labels, val_scores)`, applied to the test set.
+pub fn evaluate_dimm_level(
+    val_labels: &[bool],
+    val_scores: &[f32],
+    test: &SampleSet,
+    test_scores: &[f32],
+) -> Evaluation {
+    let th = best_f1_threshold(val_labels, val_scores);
+    let (y_true, y_pred) = dimm_level(test, test_scores, th);
+    Evaluation::from_confusion(Confusion::from_predictions(&y_true, &y_pred), th)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfp_dram::time::SimTime;
+
+    #[test]
+    fn confusion_counts() {
+        let t = [true, true, false, false, true];
+        let p = [true, false, true, false, true];
+        let c = Confusion::from_predictions(&t, &p);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn metric_formulas() {
+        let c = Confusion {
+            tp: 6,
+            fp: 2,
+            fn_: 4,
+            tn: 88,
+        };
+        assert!((c.precision() - 0.75).abs() < 1e-12);
+        assert!((c.recall() - 0.6).abs() < 1e-12);
+        let f1 = 2.0 * 0.75 * 0.6 / (0.75 + 0.6);
+        assert!((c.f1() - f1).abs() < 1e-12);
+        // VIRR = (1 - 0.1/0.75) * 0.6
+        assert!((c.virr(0.1) - (1.0 - 0.1 / 0.75) * 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virr_negative_when_precision_below_yc() {
+        let c = Confusion {
+            tp: 1,
+            fp: 19,
+            fn_: 1,
+            tn: 79,
+        };
+        assert!(c.precision() < 0.1);
+        assert!(c.virr(0.1) < 0.0);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.virr(0.1), 0.0);
+    }
+
+    #[test]
+    fn best_threshold_separates_perfectly() {
+        let labels = [false, false, false, true, true];
+        let scores = [0.1f32, 0.2, 0.3, 0.8, 0.9];
+        let th = best_f1_threshold(&labels, &scores);
+        let preds: Vec<bool> = scores.iter().map(|&s| s >= th).collect();
+        assert_eq!(Confusion::from_predictions(&labels, &preds).f1(), 1.0);
+    }
+
+    #[test]
+    fn pr_curve_is_monotone_in_recall_and_anchored() {
+        let labels = [false, false, true, false, true, true];
+        let scores = [0.1f32, 0.2, 0.55, 0.4, 0.8, 0.9];
+        let curve = pr_curve(&labels, &scores, 50);
+        assert!(curve.windows(2).all(|w| w[0].recall <= w[1].recall));
+        // The lowest threshold predicts everything positive: recall 1,
+        // precision = base rate (3 positives of 6).
+        assert!(curve
+            .iter()
+            .any(|p| p.recall == 1.0 && (p.precision - 0.5).abs() < 1e-12));
+        // The curve also contains a perfect-precision point (threshold
+        // above every negative score).
+        assert!(curve.iter().any(|p| p.precision == 1.0));
+    }
+
+    #[test]
+    fn roc_auc_perfect_and_random() {
+        let labels = [false, false, false, true, true];
+        let perfect = [0.1f32, 0.2, 0.3, 0.8, 0.9];
+        assert!((roc_auc(&labels, &perfect) - 1.0).abs() < 1e-12);
+        let inverted = [0.9f32, 0.8, 0.7, 0.2, 0.1];
+        assert!(roc_auc(&labels, &inverted) < 1e-12);
+        // All-tied scores: AUC 0.5 by midrank convention.
+        let flat = [0.5f32; 5];
+        assert!((roc_auc(&labels, &flat) - 0.5).abs() < 1e-12);
+        // Degenerate single-class input.
+        assert_eq!(roc_auc(&[true, true], &[0.1, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn dimm_level_aggregates_any_positive() {
+        let mut set = SampleSet::new();
+        set.schema = vec!["x".into()];
+        // DIMM 0: samples neg+pos; DIMM 1: all neg.
+        set.push(vec![0.0], false, DimmId::new(0, 0), SimTime::from_secs(1));
+        set.push(vec![0.0], true, DimmId::new(0, 0), SimTime::from_secs(2));
+        set.push(vec![0.0], false, DimmId::new(1, 0), SimTime::from_secs(3));
+        let scores = [0.9f32, 0.1, 0.2];
+        let (y_true, y_pred) = dimm_level(&set, &scores, 0.5);
+        assert_eq!(y_true, vec![true, false]);
+        assert_eq!(y_pred, vec![true, false]);
+    }
+}

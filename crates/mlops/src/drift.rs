@@ -1,0 +1,193 @@
+//! Feature-drift detection via the Population Stability Index (PSI).
+//!
+//! Server configurations, CPU generations and workloads change over a
+//! fleet's lifetime (paper §I, §VII); the monitoring layer compares the
+//! live feature distribution against the training snapshot and triggers
+//! retraining when drift exceeds a threshold.
+
+use mfp_features::dataset::SampleSet;
+use serde::{Deserialize, Serialize};
+
+/// PSI of one feature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureDrift {
+    /// Feature name.
+    pub name: String,
+    /// Population Stability Index (0 = identical distributions).
+    pub psi: f64,
+}
+
+/// Drift report over a whole feature matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Per-feature PSI, in schema order.
+    pub features: Vec<FeatureDrift>,
+}
+
+impl DriftReport {
+    /// Maximum PSI across features.
+    pub fn max_psi(&self) -> f64 {
+        self.features.iter().map(|f| f.psi).fold(0.0, f64::max)
+    }
+
+    /// Mean PSI across features.
+    pub fn mean_psi(&self) -> f64 {
+        if self.features.is_empty() {
+            return 0.0;
+        }
+        self.features.iter().map(|f| f.psi).sum::<f64>() / self.features.len() as f64
+    }
+
+    /// Industry rule of thumb: PSI > 0.2 on any feature = major shift.
+    pub fn drifted(&self, threshold: f64) -> bool {
+        self.max_psi() > threshold
+    }
+}
+
+/// Computes PSI per feature between a reference (training) sample set and a
+/// live window, using `bins` quantile buckets of the reference.
+///
+/// # Panics
+///
+/// Panics when the sets' schemas differ.
+pub fn psi_report(reference: &SampleSet, live: &SampleSet, bins: usize) -> DriftReport {
+    psi_report_excluding(reference, live, bins, &[])
+}
+
+/// [`psi_report`] with an exclusion list — lifetime-cumulative features
+/// (see [`mfp_features::extract::CUMULATIVE_FEATURES`]) drift between any
+/// two windows by construction and would permanently trip the monitor.
+///
+/// # Panics
+///
+/// Panics when the sets' schemas differ.
+pub fn psi_report_excluding(
+    reference: &SampleSet,
+    live: &SampleSet,
+    bins: usize,
+    exclude: &[&str],
+) -> DriftReport {
+    assert_eq!(reference.schema, live.schema, "schema mismatch");
+    let bins = bins.clamp(2, 50);
+    let d = reference.dim();
+    let mut features = Vec::with_capacity(d);
+    for f in 0..d {
+        if exclude.contains(&reference.schema[f].as_str()) {
+            continue;
+        }
+        let mut ref_vals: Vec<f32> = (0..reference.len()).map(|i| reference.row(i)[f]).collect();
+        ref_vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // Quantile edges over the reference.
+        let mut edges: Vec<f32> = (1..bins)
+            .map(|k| ref_vals[(k * (ref_vals.len() - 1)) / bins])
+            .collect();
+        edges.dedup();
+        let bucket = |v: f32| edges.partition_point(|&e| e < v);
+        let n_buckets = edges.len() + 1;
+        let mut ref_counts = vec![0usize; n_buckets];
+        let mut live_counts = vec![0usize; n_buckets];
+        for &v in &ref_vals {
+            ref_counts[bucket(v)] += 1;
+        }
+        for i in 0..live.len() {
+            live_counts[bucket(live.row(i)[f])] += 1;
+        }
+        let psi = psi_from_counts(&ref_counts, &live_counts);
+        features.push(FeatureDrift {
+            name: reference.schema[f].clone(),
+            psi,
+        });
+    }
+    DriftReport { features }
+}
+
+/// PSI between two histograms (with epsilon smoothing).
+fn psi_from_counts(reference: &[usize], live: &[usize]) -> f64 {
+    let rn: f64 = reference.iter().sum::<usize>() as f64;
+    let ln: f64 = live.iter().sum::<usize>() as f64;
+    if rn == 0.0 || ln == 0.0 {
+        return 0.0;
+    }
+    let eps = 1e-4;
+    reference
+        .iter()
+        .zip(live)
+        .map(|(&r, &l)| {
+            let p = (r as f64 / rn).max(eps);
+            let q = (l as f64 / ln).max(eps);
+            (q - p) * (q / p).ln()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfp_dram::address::DimmId;
+    use mfp_dram::time::SimTime;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn gaussianish_set(seed: u64, n: usize, shift: f32) -> SampleSet {
+        let mut s = SampleSet::new();
+        s.schema = vec!["a".into(), "b".into()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            let a: f32 = rng.random::<f32>() + shift;
+            let b: f32 = rng.random::<f32>();
+            s.push(vec![a, b], false, DimmId::new(i as u32, 0), SimTime::ZERO);
+        }
+        s
+    }
+
+    #[test]
+    fn identical_distributions_have_low_psi() {
+        let r = gaussianish_set(1, 2000, 0.0);
+        let l = gaussianish_set(2, 2000, 0.0);
+        let rep = psi_report(&r, &l, 10);
+        assert!(rep.max_psi() < 0.05, "{}", rep.max_psi());
+        assert!(!rep.drifted(0.2));
+    }
+
+    #[test]
+    fn shifted_feature_is_flagged() {
+        let r = gaussianish_set(1, 2000, 0.0);
+        let l = gaussianish_set(2, 2000, 0.8);
+        let rep = psi_report(&r, &l, 10);
+        assert!(rep.drifted(0.2));
+        // Only feature "a" shifted.
+        assert!(rep.features[0].psi > 0.5, "{}", rep.features[0].psi);
+        assert!(rep.features[1].psi < 0.05, "{}", rep.features[1].psi);
+    }
+
+    #[test]
+    fn constant_feature_is_harmless() {
+        let mut r = SampleSet::new();
+        r.schema = vec!["c".into()];
+        let mut l = r.clone();
+        for i in 0..100 {
+            r.push(vec![1.0], false, DimmId::new(i, 0), SimTime::ZERO);
+            l.push(vec![1.0], false, DimmId::new(i, 0), SimTime::ZERO);
+        }
+        let rep = psi_report(&r, &l, 10);
+        assert!(rep.max_psi() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_max_aggregate() {
+        let rep = DriftReport {
+            features: vec![
+                FeatureDrift {
+                    name: "x".into(),
+                    psi: 0.1,
+                },
+                FeatureDrift {
+                    name: "y".into(),
+                    psi: 0.3,
+                },
+            ],
+        };
+        assert_eq!(rep.max_psi(), 0.3);
+        assert!((rep.mean_psi() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,318 @@
+//! The feature store (paper §VII): transformation, storage, cataloging and
+//! serving of features for training (batch) and online prediction
+//! (streaming).
+//!
+//! Train/serve consistency is by construction: both paths call the same
+//! `mfp-features` extraction code — and [`FeatureStore::consistency_check`]
+//! verifies it empirically, the check data scientists run before promoting
+//! a model.
+
+use crate::lake::DataLake;
+use mfp_dram::address::DimmId;
+use mfp_dram::event::MemEvent;
+use mfp_dram::geometry::Platform;
+use mfp_dram::time::{SimDuration, SimTime};
+use mfp_features::dataset::SampleSet;
+use mfp_features::extract::{extract_features, feature_names};
+use mfp_features::fault_analysis::FaultThresholds;
+use mfp_features::history::DimmHistory;
+use mfp_features::labeling::ProblemConfig;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Catalog entry describing a registered feature view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureView {
+    /// View name, e.g. `"memfail/v1"`.
+    pub name: String,
+    /// Monotonic version.
+    pub version: u32,
+    /// Feature names served by this view.
+    pub schema: Vec<String>,
+    /// Free-form description for the catalog.
+    pub description: String,
+}
+
+/// Per-DIMM rolling state for the streaming path.
+#[derive(Debug, Clone, Default)]
+struct DimmStream {
+    /// Events inside the retention window, time-ordered.
+    events: Vec<MemEvent>,
+}
+
+/// The feature store.
+#[derive(Debug)]
+pub struct FeatureStore {
+    problem: ProblemConfig,
+    thresholds: FaultThresholds,
+    retention: SimDuration,
+    views: RwLock<Vec<FeatureView>>,
+    streams: RwLock<BTreeMap<DimmId, DimmStream>>,
+}
+
+impl FeatureStore {
+    /// Creates a store for the given problem formulation.
+    pub fn new(problem: ProblemConfig, thresholds: FaultThresholds) -> Self {
+        let retention = SimDuration::days(30).max(problem.observation);
+        let store = FeatureStore {
+            problem,
+            thresholds,
+            retention,
+            views: RwLock::new(Vec::new()),
+            streams: RwLock::new(BTreeMap::new()),
+        };
+        store.register_view(
+            "memfail",
+            "CE spatio-temporal + error-bit + static DIMM features for UE prediction",
+        );
+        store
+    }
+
+    /// The problem formulation this store serves.
+    pub fn problem(&self) -> &ProblemConfig {
+        &self.problem
+    }
+
+    /// Registers (a new version of) a feature view in the catalog.
+    pub fn register_view(&self, name: &str, description: &str) -> FeatureView {
+        let mut views = self.views.write();
+        let version = views.iter().filter(|v| v.name == name).count() as u32 + 1;
+        let view = FeatureView {
+            name: name.to_string(),
+            version,
+            schema: feature_names(),
+            description: description.to_string(),
+        };
+        views.push(view.clone());
+        view
+    }
+
+    /// Catalog of registered views.
+    pub fn views(&self) -> Vec<FeatureView> {
+        self.views.read().clone()
+    }
+
+    /// **Batch transformation**: materializes a labelled training set for a
+    /// platform from lake data in `[from, to)`.
+    ///
+    /// Labels need UE visibility up to `to + lead + prediction`, so this is
+    /// only used for historical (training) ranges.
+    pub fn materialize(
+        &self,
+        lake: &DataLake,
+        platform: Platform,
+        from: SimTime,
+        to: SimTime,
+    ) -> SampleSet {
+        let label_horizon = to + self.problem.lead + self.problem.prediction;
+        let events = lake.query(platform, SimTime::ZERO, label_horizon);
+        let mut by_dimm: BTreeMap<DimmId, Vec<&MemEvent>> = BTreeMap::new();
+        for e in &events {
+            by_dimm.entry(e.dimm()).or_default().push(e);
+        }
+        let mut set = SampleSet::new();
+        for (dimm, evs) in by_dimm {
+            let Some((_, spec)) = lake.dimm_info(dimm) else {
+                continue;
+            };
+            let history = DimmHistory::new(&evs);
+            let horizon = label_horizon - SimTime::ZERO;
+            for t in self.problem.sample_times(&history, horizon) {
+                if t < from || t >= to {
+                    continue;
+                }
+                let Some(label) = self.problem.label_at(t, history.first_ue()) else {
+                    continue;
+                };
+                let row = extract_features(&history, &spec, t, &self.problem, &self.thresholds);
+                set.push(row, label, dimm, t);
+            }
+        }
+        set
+    }
+
+    /// **Stream transformation**: folds one event into the online state.
+    pub fn stream_ingest(&self, event: &MemEvent) {
+        let mut streams = self.streams.write();
+        let s = streams.entry(event.dimm()).or_default();
+        s.events.push(*event);
+        // Evict events older than the retention window.
+        let cutoff = event.time().saturating_sub(self.retention);
+        s.events.retain(|e| e.time() >= cutoff);
+    }
+
+    /// **Serving**: the current feature row of a DIMM at time `now`, or
+    /// `None` when the DIMM has no recent activity.
+    pub fn serve(&self, lake: &DataLake, dimm: DimmId, now: SimTime) -> Option<Vec<f32>> {
+        let streams = self.streams.read();
+        let s = streams.get(&dimm)?;
+        if s.events.is_empty() {
+            return None;
+        }
+        let (_, spec) = lake.dimm_info(dimm)?;
+        let refs: Vec<&MemEvent> = s.events.iter().collect();
+        let history = DimmHistory::new(&refs);
+        Some(extract_features(
+            &history,
+            &spec,
+            now,
+            &self.problem,
+            &self.thresholds,
+        ))
+    }
+
+    /// DIMMs with at least one CE in the observation window ending at
+    /// `now` — the candidates the online predictor re-scores.
+    pub fn active_dimms(&self, now: SimTime) -> Vec<DimmId> {
+        let from = now.saturating_sub(self.problem.observation);
+        self.streams
+            .read()
+            .iter()
+            .filter(|(_, s)| {
+                s.events
+                    .iter()
+                    .any(|e| e.as_ce().is_some() && e.time() >= from && e.time() < now)
+            })
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Train/serve consistency check: replays a DIMM's lake events through
+    /// the streaming path and compares the served vector against the batch
+    /// extraction at the same instant. Returns the max absolute difference
+    /// (0.0 means perfectly consistent).
+    ///
+    /// Note: consistency holds exactly when the serving time is within the
+    /// retention window of the DIMM's oldest event; `ce_total`-style
+    /// lifetime counters can differ beyond it, which this check surfaces.
+    pub fn consistency_check(
+        &self,
+        lake: &DataLake,
+        platform: Platform,
+        dimm: DimmId,
+        at: SimTime,
+    ) -> Option<f32> {
+        let (_, spec) = lake.dimm_info(dimm)?;
+        let events = lake.query(platform, SimTime::ZERO, at);
+        let dimm_events: Vec<&MemEvent> = events.iter().filter(|e| e.dimm() == dimm).collect();
+        if dimm_events.is_empty() {
+            return None;
+        }
+        // Batch path.
+        let history = DimmHistory::new(&dimm_events);
+        let batch = extract_features(&history, &spec, at, &self.problem, &self.thresholds);
+        // Streaming path (fresh replay in an isolated store).
+        let replay = FeatureStore::new(self.problem, self.thresholds);
+        for e in &dimm_events {
+            replay.stream_ingest(e);
+        }
+        let served = replay.serve(lake, dimm, at)?;
+        Some(
+            batch
+                .iter()
+                .zip(&served)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfp_dram::address::CellAddr;
+    use mfp_dram::bus::ErrorTransfer;
+    use mfp_dram::event::CeEvent;
+    use mfp_dram::spec::DimmSpec;
+
+    fn ce(t: u64, dimm: DimmId) -> MemEvent {
+        MemEvent::Ce(CeEvent {
+            time: SimTime::from_secs(t),
+            dimm,
+            addr: CellAddr::new(0, 0, 1, 1),
+            transfer: ErrorTransfer::from_bits([(0, 0)]),
+        })
+    }
+
+    fn store() -> FeatureStore {
+        FeatureStore::new(ProblemConfig::default(), FaultThresholds::default())
+    }
+
+    #[test]
+    fn view_catalog_versions() {
+        let s = store();
+        assert_eq!(s.views().len(), 1);
+        let v2 = s.register_view("memfail", "updated");
+        assert_eq!(v2.version, 2);
+        let other = s.register_view("other", "x");
+        assert_eq!(other.version, 1);
+        assert_eq!(s.views().len(), 3);
+    }
+
+    #[test]
+    fn streaming_serves_features() {
+        let lake = DataLake::new();
+        let id = DimmId::new(1, 0);
+        lake.register_dimm(id, Platform::IntelPurley, DimmSpec::default());
+        let s = store();
+        assert!(s.serve(&lake, id, SimTime::from_secs(100)).is_none());
+        s.stream_ingest(&ce(50, id));
+        let row = s.serve(&lake, id, SimTime::from_secs(100)).unwrap();
+        assert_eq!(row.len(), mfp_features::extract::FEATURE_DIM);
+    }
+
+    #[test]
+    fn retention_evicts_old_events() {
+        let s = store();
+        let id = DimmId::new(1, 0);
+        s.stream_ingest(&ce(0, id));
+        s.stream_ingest(&ce(40 * 86_400, id)); // 40 days later
+        let streams = s.streams.read();
+        assert_eq!(streams[&id].events.len(), 1, "old event must be evicted");
+    }
+
+    #[test]
+    fn active_dimms_require_recent_ces() {
+        let s = store();
+        let a = DimmId::new(1, 0);
+        let b = DimmId::new(2, 0);
+        s.stream_ingest(&ce(100, a));
+        s.stream_ingest(&ce(20 * 86_400, b));
+        let now = SimTime::from_secs(20 * 86_400 + 100);
+        let active = s.active_dimms(now);
+        assert_eq!(active, vec![b], "only b has CEs inside the window");
+    }
+
+    #[test]
+    fn batch_and_stream_agree() {
+        let lake = DataLake::new();
+        let id = DimmId::new(3, 1);
+        lake.register_dimm(id, Platform::K920, DimmSpec::default());
+        lake.ingest(&[ce(1_000, id), ce(2_000, id), ce(90_000, id)]);
+        let s = store();
+        let diff = s
+            .consistency_check(&lake, Platform::K920, id, SimTime::from_secs(100_000))
+            .unwrap();
+        assert_eq!(diff, 0.0, "train/serve skew detected");
+    }
+
+    #[test]
+    fn materialize_builds_labelled_samples() {
+        let lake = DataLake::new();
+        let id = DimmId::new(4, 0);
+        lake.register_dimm(id, Platform::IntelPurley, DimmSpec::default());
+        // CEs across several days.
+        let events: Vec<MemEvent> = (1..10).map(|d| ce(d * 86_400, id)).collect();
+        lake.ingest(&events);
+        let s = store();
+        let set = s.materialize(
+            &lake,
+            Platform::IntelPurley,
+            SimTime::ZERO,
+            SimTime::from_secs(15 * 86_400),
+        );
+        assert!(!set.is_empty());
+        assert!(set.labels.iter().all(|&l| !l), "no UE: all negative");
+    }
+}

@@ -1,0 +1,201 @@
+//! The data lake: the landing zone of the data pipeline (paper §VII).
+//!
+//! BMC collectors ship encoded event logs; the lake stores them
+//! partitioned by platform and simulated day, alongside the DIMM
+//! specification catalog, and serves range queries to the feature store.
+
+use mfp_dram::address::DimmId;
+use mfp_dram::bmc::{BmcLog, DecodeError};
+use mfp_dram::event::MemEvent;
+use mfp_dram::geometry::Platform;
+use mfp_dram::spec::DimmSpec;
+use mfp_dram::time::SimTime;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Partition key: (platform, day index).
+type PartitionKey = (Platform, u64);
+
+/// An append-only, partitioned event store with a DIMM catalog.
+///
+/// Thread-safe: ingestion and queries may run concurrently (the online
+/// prediction path reads while collectors write).
+#[derive(Debug, Default)]
+pub struct DataLake {
+    partitions: RwLock<BTreeMap<PartitionKey, Vec<MemEvent>>>,
+    catalog: RwLock<BTreeMap<DimmId, (Platform, DimmSpec)>>,
+}
+
+impl DataLake {
+    /// Creates an empty lake.
+    pub fn new() -> Self {
+        DataLake::default()
+    }
+
+    /// Registers a DIMM's static specification (the memory-specification
+    /// records the BMC reports at boot).
+    pub fn register_dimm(&self, id: DimmId, platform: Platform, spec: DimmSpec) {
+        self.catalog.write().insert(id, (platform, spec));
+    }
+
+    /// Looks up a DIMM's platform and spec.
+    pub fn dimm_info(&self, id: DimmId) -> Option<(Platform, DimmSpec)> {
+        self.catalog.read().get(&id).copied()
+    }
+
+    /// Number of catalogued DIMMs.
+    pub fn catalog_len(&self) -> usize {
+        self.catalog.read().len()
+    }
+
+    /// Ingests already-decoded events; unknown DIMMs are rejected into the
+    /// returned count (data-quality signal for monitoring).
+    pub fn ingest(&self, events: &[MemEvent]) -> usize {
+        let catalog = self.catalog.read();
+        let mut parts = self.partitions.write();
+        let mut rejected = 0;
+        for e in events {
+            match catalog.get(&e.dimm()) {
+                Some((platform, _)) => {
+                    parts
+                        .entry((*platform, e.time().as_days()))
+                        .or_default()
+                        .push(*e);
+                }
+                None => rejected += 1,
+            }
+        }
+        rejected
+    }
+
+    /// Ingests a binary-encoded BMC log (the wire format collectors ship).
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error when the payload is malformed.
+    pub fn ingest_encoded(&self, payload: &[u8]) -> Result<usize, DecodeError> {
+        let log = BmcLog::decode(payload)?;
+        Ok(self.ingest(log.events()))
+    }
+
+    /// Total stored events.
+    pub fn len(&self) -> usize {
+        self.partitions.read().values().map(Vec::len).sum()
+    }
+
+    /// True when the lake holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All events of one platform in `[from, to)`, time-sorted.
+    pub fn query(&self, platform: Platform, from: SimTime, to: SimTime) -> Vec<MemEvent> {
+        let parts = self.partitions.read();
+        let mut out: Vec<MemEvent> = Vec::new();
+        for day in from.as_days()..=to.as_days() {
+            if let Some(events) = parts.get(&(platform, day)) {
+                out.extend(
+                    events
+                        .iter()
+                        .filter(|e| e.time() >= from && e.time() < to)
+                        .copied(),
+                );
+            }
+        }
+        out.sort_by_key(|e| e.time());
+        out
+    }
+
+    /// DIMMs of one platform present in the catalog.
+    pub fn platform_dimms(&self, platform: Platform) -> Vec<(DimmId, DimmSpec)> {
+        self.catalog
+            .read()
+            .iter()
+            .filter(|(_, (p, _))| *p == platform)
+            .map(|(id, (_, spec))| (*id, *spec))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfp_dram::address::CellAddr;
+    use mfp_dram::bus::ErrorTransfer;
+    use mfp_dram::event::CeEvent;
+
+    fn ce(t: u64, dimm: DimmId) -> MemEvent {
+        MemEvent::Ce(CeEvent {
+            time: SimTime::from_secs(t),
+            dimm,
+            addr: CellAddr::new(0, 0, 1, 1),
+            transfer: ErrorTransfer::from_bits([(0, 0)]),
+        })
+    }
+
+    #[test]
+    fn ingest_requires_catalog() {
+        let lake = DataLake::new();
+        let id = DimmId::new(1, 0);
+        let rejected = lake.ingest(&[ce(10, id)]);
+        assert_eq!(rejected, 1);
+        assert!(lake.is_empty());
+
+        lake.register_dimm(id, Platform::IntelPurley, DimmSpec::default());
+        let rejected = lake.ingest(&[ce(10, id)]);
+        assert_eq!(rejected, 0);
+        assert_eq!(lake.len(), 1);
+    }
+
+    #[test]
+    fn query_filters_time_and_platform() {
+        let lake = DataLake::new();
+        let a = DimmId::new(1, 0);
+        let b = DimmId::new(2, 0);
+        lake.register_dimm(a, Platform::IntelPurley, DimmSpec::default());
+        lake.register_dimm(b, Platform::K920, DimmSpec::default());
+        lake.ingest(&[ce(10, a), ce(100_000, a), ce(20, b)]);
+
+        let purley = lake.query(
+            Platform::IntelPurley,
+            SimTime::from_secs(0),
+            SimTime::from_secs(1_000),
+        );
+        assert_eq!(purley.len(), 1);
+        assert_eq!(purley[0].time().as_secs(), 10);
+        let k920 = lake.query(
+            Platform::K920,
+            SimTime::from_secs(0),
+            SimTime::from_secs(1_000_000),
+        );
+        assert_eq!(k920.len(), 1);
+    }
+
+    #[test]
+    fn encoded_roundtrip_through_lake() {
+        let lake = DataLake::new();
+        let id = DimmId::new(7, 1);
+        lake.register_dimm(id, Platform::IntelWhitley, DimmSpec::default());
+        let log: BmcLog = vec![ce(5, id), ce(6, id)].into_iter().collect();
+        let n = lake.ingest_encoded(&log.encode()).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(lake.len(), 2);
+        assert!(lake.ingest_encoded(b"garbage").is_err());
+    }
+
+    #[test]
+    fn catalog_queries() {
+        let lake = DataLake::new();
+        lake.register_dimm(DimmId::new(1, 0), Platform::K920, DimmSpec::default());
+        lake.register_dimm(DimmId::new(2, 0), Platform::K920, DimmSpec::default());
+        lake.register_dimm(
+            DimmId::new(3, 0),
+            Platform::IntelPurley,
+            DimmSpec::default(),
+        );
+        assert_eq!(lake.catalog_len(), 3);
+        assert_eq!(lake.platform_dimms(Platform::K920).len(), 2);
+        assert!(lake.dimm_info(DimmId::new(3, 0)).is_some());
+        assert!(lake.dimm_info(DimmId::new(9, 9)).is_none());
+    }
+}

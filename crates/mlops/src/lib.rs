@@ -1,0 +1,47 @@
+//! # mfp-mlops
+//!
+//! The MLOps framework of the paper's §VII / Fig. 6, as an in-process
+//! library:
+//!
+//! * [`lake`] — the data pipeline's landing zone: partitioned event store +
+//!   DIMM catalog, fed by the binary BMC wire format.
+//! * [`feature_store`] — transformation (batch + streaming), storage,
+//!   cataloging and serving of features, with an executable train/serve
+//!   consistency check.
+//! * [`registry`] — versioned, stage-tracked model storage
+//!   (staging → production → archived, with rollback).
+//! * [`cicd`] — the deployment pipeline: integration tests, benchmark
+//!   non-regression gate, canary precision gate, automatic promotion.
+//! * [`online`] — streaming prediction with alarm voting and cooldown.
+//! * [`mitigation`] — VM migration on alarms and the *measured* VIRR.
+//! * [`drift`] — PSI feature-drift detection.
+//! * [`monitor`] — dashboards, live precision/recall feedback, and the
+//!   retraining policy.
+//! * [`lifecycle`] — the checkpointed orchestrator that ties monitoring,
+//!   drift and CI/CD into the paper's continuous-improvement loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cicd;
+pub mod drift;
+pub mod feature_store;
+pub mod lake;
+pub mod lifecycle;
+pub mod mitigation;
+pub mod monitor;
+pub mod online;
+pub mod registry;
+
+/// Convenient glob-import of the most used types.
+pub mod prelude {
+    pub use crate::cicd::{run_pipeline, PipelineConfig, PipelineRun, StageResult};
+    pub use crate::drift::{psi_report, psi_report_excluding, DriftReport};
+    pub use crate::feature_store::{FeatureStore, FeatureView};
+    pub use crate::lake::DataLake;
+    pub use crate::lifecycle::{run_lifecycle, Checkpoint, LifecycleConfig};
+    pub use crate::mitigation::{evaluate_mitigation, MitigationConfig, MitigationReport};
+    pub use crate::monitor::{Dashboard, FeedbackLoop, MetricValue, RetrainPolicy};
+    pub use crate::online::{Alarm, OnlineConfig, OnlinePredictor};
+    pub use crate::registry::{ModelEntry, ModelRegistry, Stage};
+}

@@ -1,0 +1,217 @@
+//! The model lifecycle orchestrator: the paper's closing promise —
+//! "continuous enhancement and maintenance of failure prediction
+//! performance" (§VII) — as an executable loop.
+//!
+//! At every checkpoint the orchestrator materializes fresh training and
+//! benchmark windows from the lake, consults the drift report and the
+//! retraining policy, and (re)runs the CI/CD pipeline when either demands
+//! it. Every decision is recorded, giving the audit trail the paper's
+//! monitoring dashboards render.
+
+use crate::cicd::{run_pipeline, PipelineConfig};
+use crate::drift::psi_report_excluding;
+use crate::feature_store::FeatureStore;
+use crate::lake::DataLake;
+use crate::monitor::{FeedbackLoop, RetrainPolicy};
+use crate::registry::ModelRegistry;
+use mfp_dram::geometry::Platform;
+use mfp_dram::time::{SimDuration, SimTime};
+use mfp_ml::model::Algorithm;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleConfig {
+    /// How often the orchestrator wakes up.
+    pub checkpoint_interval: SimDuration,
+    /// Length of the training window ending at each checkpoint.
+    pub train_window: SimDuration,
+    /// Length of the benchmark window (the tail of the training window is
+    /// reserved for it).
+    pub benchmark_window: SimDuration,
+    /// Negative-downsampling factor for training.
+    pub negative_keep: usize,
+    /// Retraining triggers.
+    pub policy: RetrainPolicy,
+    /// Deployment gates.
+    pub pipeline: PipelineConfig,
+    /// Algorithm to (re)train.
+    pub algorithm: Algorithm,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            checkpoint_interval: SimDuration::days(30),
+            train_window: SimDuration::days(90),
+            benchmark_window: SimDuration::days(30),
+            negative_keep: 8,
+            policy: RetrainPolicy::default(),
+            pipeline: PipelineConfig::default(),
+            algorithm: Algorithm::LightGbm,
+        }
+    }
+}
+
+/// What happened at one checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The checkpoint instant.
+    pub at: SimTime,
+    /// Why retraining ran, or why it was skipped.
+    pub decision: String,
+    /// Whether a pipeline run was attempted.
+    pub retrained: bool,
+    /// Whether a new model reached production.
+    pub deployed: bool,
+    /// Production benchmark F1 after the checkpoint (if any model serves).
+    pub production_f1: Option<f64>,
+}
+
+/// Runs the lifecycle loop over `[from, until]`.
+///
+/// The lake must already contain the platform's events (the online
+/// ingestion path is orthogonal). Returns one record per checkpoint.
+#[allow(clippy::too_many_arguments)] // orchestration wires the whole §VII stack
+pub fn run_lifecycle(
+    lake: &DataLake,
+    store: &FeatureStore,
+    registry: &ModelRegistry,
+    feedback: &FeedbackLoop,
+    platform: Platform,
+    cfg: &LifecycleConfig,
+    from: SimTime,
+    until: SimTime,
+) -> Vec<Checkpoint> {
+    let mut out = Vec::new();
+    let mut t = from;
+    while t <= until {
+        let train_start = t.saturating_sub(cfg.train_window);
+        let bench_start = t.saturating_sub(cfg.benchmark_window);
+        let train = store
+            .materialize(lake, platform, train_start, bench_start)
+            .downsample_negatives(cfg.negative_keep);
+        let benchmark = store.materialize(lake, platform, bench_start, t);
+
+        let production = registry.production(platform);
+        let (decision, retrain) = if train.positives() == 0 {
+            ("no positive training samples in window".to_string(), false)
+        } else if production.is_none() {
+            ("no production model: initial training".to_string(), true)
+        } else if benchmark.is_empty() {
+            ("no benchmark data".to_string(), false)
+        } else {
+            // Drift between the production model's era and the fresh window.
+            let reference = store.materialize(
+                lake,
+                platform,
+                train_start,
+                bench_start,
+            );
+            let drift = psi_report_excluding(
+                &reference,
+                &benchmark,
+                10,
+                &mfp_features::extract::CUMULATIVE_FEATURES,
+            );
+            match cfg.policy.should_retrain(&drift, feedback) {
+                Some(reason) => (reason, true),
+                None => (
+                    format!("healthy (max PSI {:.3})", drift.max_psi()),
+                    false,
+                ),
+            }
+        };
+
+        let mut deployed = false;
+        if retrain {
+            let run = run_pipeline(
+                registry,
+                &cfg.pipeline,
+                cfg.algorithm,
+                platform,
+                t,
+                &train,
+                &benchmark,
+                &benchmark,
+            );
+            deployed = run.deployed;
+        }
+        out.push(Checkpoint {
+            at: t,
+            decision,
+            retrained: retrain,
+            deployed,
+            production_f1: registry.production(platform).map(|e| e.benchmark.f1),
+        });
+        t += cfg.checkpoint_interval;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfp_features::fault_analysis::FaultThresholds;
+    use mfp_features::labeling::ProblemConfig;
+    use mfp_sim::config::FleetConfig;
+    use mfp_sim::fleet::simulate_fleet;
+
+    #[test]
+    fn lifecycle_bootstraps_and_then_holds() {
+        let fleet = simulate_fleet(&FleetConfig::calibrated(100.0, 51));
+        let lake = DataLake::new();
+        for t in &fleet.dimms {
+            lake.register_dimm(t.id, t.platform, t.spec);
+        }
+        lake.ingest(fleet.log.events());
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let registry = ModelRegistry::new();
+        let feedback = FeedbackLoop::new();
+
+        let cfg = LifecycleConfig::default();
+        let checkpoints = run_lifecycle(
+            &lake,
+            &store,
+            &registry,
+            &feedback,
+            Platform::IntelPurley,
+            &cfg,
+            SimTime::ZERO + SimDuration::days(120),
+            SimTime::ZERO + SimDuration::days(240),
+        );
+        assert_eq!(checkpoints.len(), 5, "30-day cadence over 120 days");
+        // First checkpoint bootstraps a model.
+        assert!(checkpoints[0].retrained, "{}", checkpoints[0].decision);
+        assert!(checkpoints[0].deployed);
+        assert!(registry.production(Platform::IntelPurley).is_some());
+        // Later checkpoints hold steady on a stationary fleet.
+        let later_retrains = checkpoints[1..].iter().filter(|c| c.retrained).count();
+        assert!(
+            later_retrains <= 1,
+            "stationary data should rarely retrain: {checkpoints:#?}"
+        );
+        // Production F1 is tracked at every checkpoint after bootstrap.
+        assert!(checkpoints[1..].iter().all(|c| c.production_f1.is_some()));
+    }
+
+    #[test]
+    fn empty_lake_never_trains() {
+        let lake = DataLake::new();
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let registry = ModelRegistry::new();
+        let feedback = FeedbackLoop::new();
+        let checkpoints = run_lifecycle(
+            &lake,
+            &store,
+            &registry,
+            &feedback,
+            Platform::K920,
+            &LifecycleConfig::default(),
+            SimTime::ZERO + SimDuration::days(100),
+            SimTime::ZERO + SimDuration::days(160),
+        );
+        assert!(checkpoints.iter().all(|c| !c.retrained));
+        assert!(registry.production(Platform::K920).is_none());
+    }
+}

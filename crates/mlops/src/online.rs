@@ -1,0 +1,272 @@
+//! Online prediction: streaming events through the feature store and the
+//! production model, raising de-duplicated alarms (paper §VII, "online
+//! prediction" + "Cloud Service").
+
+use crate::feature_store::FeatureStore;
+use crate::lake::DataLake;
+use crate::registry::ModelRegistry;
+use mfp_dram::address::DimmId;
+use mfp_dram::event::MemEvent;
+use mfp_dram::geometry::Platform;
+use mfp_dram::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A raised failure alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Alarm {
+    /// The DIMM predicted to fail.
+    pub dimm: DimmId,
+    /// When the alarm fired.
+    pub time: SimTime,
+    /// Model score at firing time.
+    pub score: f32,
+}
+
+/// Online predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Re-scoring interval Δi_p (the paper uses 5 minutes; coarser values
+    /// trade latency for throughput).
+    pub prediction_interval: SimDuration,
+    /// Consecutive above-threshold scores required before alarming.
+    pub votes: usize,
+    /// Suppress further alarms for one DIMM after this long.
+    pub alarm_cooldown: SimDuration,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            prediction_interval: SimDuration::hours(6),
+            votes: 2,
+            alarm_cooldown: SimDuration::days(30),
+        }
+    }
+}
+
+/// Streaming predictor over one platform's events.
+#[derive(Debug)]
+pub struct OnlinePredictor<'a> {
+    lake: &'a DataLake,
+    store: &'a FeatureStore,
+    registry: &'a ModelRegistry,
+    platform: Platform,
+    cfg: OnlineConfig,
+    next_tick: SimTime,
+    streaks: BTreeMap<DimmId, u32>,
+    last_alarm: BTreeMap<DimmId, SimTime>,
+    alarms: Vec<Alarm>,
+    scored: u64,
+}
+
+impl<'a> OnlinePredictor<'a> {
+    /// Creates a predictor bound to the platform's production model.
+    pub fn new(
+        lake: &'a DataLake,
+        store: &'a FeatureStore,
+        registry: &'a ModelRegistry,
+        platform: Platform,
+        cfg: OnlineConfig,
+    ) -> Self {
+        OnlinePredictor {
+            lake,
+            store,
+            registry,
+            platform,
+            cfg,
+            next_tick: SimTime::ZERO + cfg.prediction_interval,
+            streaks: BTreeMap::new(),
+            last_alarm: BTreeMap::new(),
+            alarms: Vec::new(),
+            scored: 0,
+        }
+    }
+
+    /// Feeds one event (events must arrive in time order); runs any due
+    /// prediction ticks first.
+    pub fn observe(&mut self, event: &MemEvent) {
+        while event.time() >= self.next_tick {
+            let tick = self.next_tick;
+            self.tick(tick);
+            self.next_tick += self.cfg.prediction_interval;
+        }
+        self.store.stream_ingest(event);
+    }
+
+    /// Flushes prediction ticks up to `until` (end of stream).
+    pub fn finish(&mut self, until: SimTime) {
+        while self.next_tick <= until {
+            let tick = self.next_tick;
+            self.tick(tick);
+            self.next_tick += self.cfg.prediction_interval;
+        }
+    }
+
+    fn tick(&mut self, now: SimTime) {
+        let Some(production) = self.registry.production(self.platform) else {
+            return;
+        };
+        for dimm in self.store.active_dimms(now) {
+            let Some(row) = self.store.serve(self.lake, dimm, now) else {
+                continue;
+            };
+            let score = production.model.predict_proba(&row);
+            self.scored += 1;
+            let streak = self.streaks.entry(dimm).or_insert(0);
+            if score >= production.threshold {
+                *streak += 1;
+            } else {
+                *streak = 0;
+            }
+            if *streak as usize >= self.cfg.votes {
+                let cooling = self
+                    .last_alarm
+                    .get(&dimm)
+                    .is_some_and(|&t| now < t + self.cfg.alarm_cooldown);
+                if !cooling {
+                    self.alarms.push(Alarm {
+                        dimm,
+                        time: now,
+                        score,
+                    });
+                    self.last_alarm.insert(dimm, now);
+                }
+            }
+        }
+    }
+
+    /// Alarms raised so far.
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// Number of model invocations (monitoring counter).
+    pub fn scored(&self) -> u64 {
+        self.scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfp_dram::address::CellAddr;
+    use mfp_dram::bus::ErrorTransfer;
+    use mfp_dram::event::CeEvent;
+    use mfp_dram::spec::DimmSpec;
+    use mfp_features::fault_analysis::FaultThresholds;
+    use mfp_features::labeling::ProblemConfig;
+    use mfp_ml::metrics::{Confusion, Evaluation};
+    use mfp_ml::model::{Algorithm, Model};
+    use mfp_ml::risky_ce::RiskyCePattern;
+
+    /// A CE carrying the Purley risky signature (accumulates to 2 DQs with
+    /// a 4-beat interval within one device).
+    fn risky_ce(t: u64, dimm: DimmId, flip: bool) -> MemEvent {
+        let bits: Vec<(u8, u8)> = if flip {
+            vec![(1, 20), (5, 21)]
+        } else {
+            vec![(1, 20)]
+        };
+        MemEvent::Ce(CeEvent {
+            time: SimTime::from_secs(t),
+            dimm,
+            addr: CellAddr::new(0, 0, (t / 1000) as u32 % 100, 1),
+            transfer: ErrorTransfer::from_bits(bits),
+        })
+    }
+
+    fn setup(lake: &DataLake, registry: &ModelRegistry) {
+        let id = DimmId::new(1, 0);
+        lake.register_dimm(id, Platform::IntelPurley, DimmSpec::default());
+        let entry_model = Model::RiskyCe(RiskyCePattern::default());
+        let eval = Evaluation::from_confusion(
+            Confusion {
+                tp: 1,
+                fp: 0,
+                fn_: 0,
+                tn: 1,
+            },
+            0.5,
+        );
+        let mid = registry.register(
+            Algorithm::RiskyCePattern,
+            Platform::IntelPurley,
+            SimTime::ZERO,
+            eval,
+            0.5,
+            entry_model,
+        );
+        registry.promote(mid);
+    }
+
+    #[test]
+    fn risky_stream_raises_one_alarm() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        setup(&lake, &registry);
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut p = OnlinePredictor::new(
+            &lake,
+            &store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        let id = DimmId::new(1, 0);
+        // A day of risky CEs every 2 hours.
+        for k in 0..36u64 {
+            p.observe(&risky_ce(k * 7200, id, true));
+        }
+        p.finish(SimTime::from_secs(4 * 86_400));
+        assert_eq!(
+            p.alarms().len(),
+            1,
+            "votes + cooldown must deduplicate alarms"
+        );
+        assert!(p.scored() > 0);
+        assert_eq!(p.alarms()[0].dimm, id);
+    }
+
+    #[test]
+    fn benign_stream_stays_silent() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        setup(&lake, &registry);
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut p = OnlinePredictor::new(
+            &lake,
+            &store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        let id = DimmId::new(1, 0);
+        for k in 0..36u64 {
+            p.observe(&risky_ce(k * 7200, id, false));
+        }
+        p.finish(SimTime::from_secs(4 * 86_400));
+        assert!(p.alarms().is_empty());
+    }
+
+    #[test]
+    fn no_production_model_means_no_alarms() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new(); // nothing promoted
+        lake.register_dimm(DimmId::new(1, 0), Platform::IntelPurley, DimmSpec::default());
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut p = OnlinePredictor::new(
+            &lake,
+            &store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        for k in 0..10u64 {
+            p.observe(&risky_ce(k * 7200, DimmId::new(1, 0), true));
+        }
+        p.finish(SimTime::from_secs(86_400));
+        assert!(p.alarms().is_empty());
+        assert_eq!(p.scored(), 0);
+    }
+}

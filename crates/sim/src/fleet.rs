@@ -1,0 +1,254 @@
+//! Fleet-level simulation: the synthetic substitute for the paper's
+//! production dataset.
+//!
+//! [`simulate_fleet`] generates every platform's sub-fleet, simulates each
+//! DIMM on a pool of worker threads (crossbeam scoped threads), and returns
+//! the merged BMC log together with per-DIMM ground truth. Per-DIMM RNG
+//! streams are derived from the master seed with SplitMix64, so results are
+//! bit-identical regardless of thread count or scheduling.
+
+use crate::config::{DimmCategory, FleetConfig};
+use crate::dimm::{simulate_dimm_ras, DimmOutcome, StormPolicy};
+use crate::fault::FaultMode;
+use crate::gen::{generate_plans, DimmPlan};
+use mfp_dram::address::DimmId;
+use mfp_dram::bmc::BmcLog;
+use mfp_dram::geometry::Platform;
+use mfp_dram::spec::DimmSpec;
+use mfp_dram::time::SimTime;
+use mfp_ecc::platforms::PlatformEcc;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Ground truth for one simulated DIMM (never visible to the predictor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimmTruth {
+    /// The DIMM's identity.
+    pub id: DimmId,
+    /// Hosting platform.
+    pub platform: Platform,
+    /// Static spec.
+    pub spec: DimmSpec,
+    /// Generative category.
+    pub category: DimmCategory,
+    /// Spatial modes of the injected faults.
+    pub fault_modes: Vec<FaultMode>,
+    /// Simulation outcome counters.
+    pub outcome: DimmOutcome,
+}
+
+impl DimmTruth {
+    /// Time of the DIMM's first UE, if it failed.
+    pub fn first_ue(&self) -> Option<SimTime> {
+        self.outcome.first_ue
+    }
+
+    /// Whether the DIMM logged at least one CE.
+    pub fn has_ces(&self) -> bool {
+        self.outcome.logged_ces > 0 || self.outcome.suppressed_ces > 0
+    }
+}
+
+/// The simulated dataset: merged BMC log plus ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetResult {
+    /// All memory events of the fleet, time-ordered.
+    pub log: BmcLog,
+    /// Ground truth per DIMM, in generation order.
+    pub dimms: Vec<DimmTruth>,
+    /// The configuration that produced this dataset.
+    pub config: FleetConfig,
+}
+
+impl FleetResult {
+    /// Truths for one platform.
+    pub fn platform_dimms(&self, platform: Platform) -> impl Iterator<Item = &DimmTruth> {
+        self.dimms.iter().filter(move |d| d.platform == platform)
+    }
+}
+
+/// SplitMix64: derives independent per-DIMM seeds from the master seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Runs the whole fleet simulation.
+///
+/// Deterministic in `cfg` (including `cfg.seed`); parallelism is an
+/// implementation detail. Worker count defaults to available parallelism.
+pub fn simulate_fleet(cfg: &FleetConfig) -> FleetResult {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16);
+    simulate_fleet_with_workers(cfg, workers)
+}
+
+/// Runs the fleet simulation on a fixed number of worker threads.
+pub fn simulate_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetResult {
+    let storm = StormPolicy {
+        threshold: cfg.storm_threshold,
+        suppression: cfg.storm_suppression,
+    };
+
+    // Phase 1: generate plans sequentially (cheap) for determinism.
+    let mut tagged: Vec<(Platform, DimmPlan, u64)> = Vec::new();
+    let mut base_server = 0u32;
+    for (pi, pc) in cfg.platforms.iter().enumerate() {
+        let mut gen_rng = StdRng::seed_from_u64(splitmix64(
+            cfg.seed ^ (0xA11C_E000 + pi as u64),
+        ));
+        let plans = generate_plans(pc, cfg.horizon, base_server, &mut gen_rng);
+        base_server += plans.len() as u32 + 1000;
+        for (di, plan) in plans.into_iter().enumerate() {
+            let seed = splitmix64(cfg.seed ^ ((pi as u64) << 32) ^ (di as u64 + 1));
+            tagged.push((pc.platform, plan, seed));
+        }
+    }
+
+    // Phase 2: simulate in parallel; each DIMM uses its own seeded RNG.
+    let workers = workers.max(1);
+    let chunk = tagged.len().div_ceil(workers).max(1);
+    let mut results: Vec<(BmcLog, Vec<DimmTruth>)> = Vec::new();
+    crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for slice in tagged.chunks(chunk) {
+            handles.push(s.spawn(move |_| {
+                let mut log = BmcLog::new();
+                let mut truths = Vec::with_capacity(slice.len());
+                let eccs: Vec<(Platform, PlatformEcc)> = Platform::ALL
+                    .iter()
+                    .map(|&p| (p, PlatformEcc::for_platform(p)))
+                    .collect();
+                for (platform, plan, seed) in slice {
+                    let ecc = &eccs
+                        .iter()
+                        .find(|(p, _)| p == platform)
+                        .expect("platform ecc")
+                        .1;
+                    let mut rng = StdRng::seed_from_u64(*seed);
+                    let outcome = simulate_dimm_ras(
+                        plan,
+                        ecc,
+                        cfg.horizon,
+                        storm,
+                        cfg.ras,
+                        &mut log,
+                        &mut rng,
+                    );
+                    truths.push(DimmTruth {
+                        id: plan.id,
+                        platform: *platform,
+                        spec: plan.spec,
+                        category: plan.category,
+                        fault_modes: plan.faults.iter().map(|f| f.mode).collect(),
+                        outcome,
+                    });
+                }
+                log.sort();
+                (log, truths)
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("simulation worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut log = BmcLog::new();
+    let mut dimms = Vec::with_capacity(tagged.len());
+    for (part_log, part_truths) in results {
+        log.merge(part_log);
+        dimms.extend(part_truths);
+    }
+    log.sort();
+    FleetResult {
+        log,
+        dimms,
+        config: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_fleet_runs_and_is_deterministic() {
+        let cfg = FleetConfig::smoke(42);
+        let a = simulate_fleet_with_workers(&cfg, 4);
+        let b = simulate_fleet_with_workers(&cfg, 1);
+        assert_eq!(a.log.len(), b.log.len(), "thread count must not matter");
+        assert_eq!(a.log.events(), b.log.events());
+        assert_eq!(a.dimms.len(), b.dimms.len());
+        assert!(!a.log.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = simulate_fleet(&FleetConfig::smoke(1));
+        let b = simulate_fleet(&FleetConfig::smoke(2));
+        assert_ne!(a.log.len(), b.log.len());
+    }
+
+    #[test]
+    fn benign_dimms_never_ue() {
+        let r = simulate_fleet(&FleetConfig::smoke(7));
+        for d in &r.dimms {
+            if d.category == DimmCategory::Benign {
+                assert!(
+                    d.first_ue().is_none(),
+                    "benign {:?} must not UE (modes {:?})",
+                    d.id,
+                    d.fault_modes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sudden_dimms_ue_without_ce_history() {
+        let r = simulate_fleet(&FleetConfig::smoke(7));
+        let mut sudden_ues = 0;
+        for d in &r.dimms {
+            if d.category == DimmCategory::Sudden {
+                if d.first_ue().is_some() {
+                    sudden_ues += 1;
+                }
+                assert!(d.outcome.logged_ces <= 2);
+            }
+        }
+        assert!(sudden_ues > 0, "some sudden DIMMs must fail in-horizon");
+    }
+
+    #[test]
+    fn degrading_dimms_produce_predictable_ues() {
+        let r = simulate_fleet(&FleetConfig::smoke(7));
+        let mut predictable = 0;
+        for d in &r.dimms {
+            if d.category == DimmCategory::Degrading && d.first_ue().is_some() {
+                assert!(
+                    d.outcome.logged_ces > 0,
+                    "degrading UE must have CE warning"
+                );
+                predictable += 1;
+            }
+        }
+        assert!(predictable > 0, "some degrading DIMMs must reach UE");
+    }
+
+    #[test]
+    fn all_platforms_present_in_log() {
+        let r = simulate_fleet(&FleetConfig::smoke(3));
+        for p in Platform::ALL {
+            assert!(
+                r.platform_dimms(p).count() > 0,
+                "{p} missing from fleet"
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # mfp-tensor
+//!
+//! Minimal dense-tensor and neural-network kernels backing the
+//! FT-Transformer in `mfp-ml`: a row-major f32 [`matrix::Matrix`] with
+//! GEMM in the three transposition flavours backprop needs, plus
+//! [`nn`] building blocks (linear, layer-norm, GELU, softmax, multi-head
+//! attention) with hand-derived backward passes that are verified against
+//! finite differences in the test suite, and Adam optimizer state on every
+//! [`nn::Param`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod nn;
+
+/// Convenient glob-import of the most used types.
+pub mod prelude {
+    pub use crate::matrix::Matrix;
+    pub use crate::nn::{
+        init_uniform, softmax_rows, softmax_rows_backward, Gelu, LayerNorm, Linear,
+        MultiHeadAttention, Param,
+    };
+}

@@ -1,0 +1,59 @@
+//! Fault analysis across architectures: simulate a mid-sized fleet and
+//! reproduce the shape of the paper's §V — the relative UE rate per fault
+//! mode (Fig. 4) and the error-bit pattern analysis (Fig. 5).
+//!
+//! Run with: `cargo run --release --example fault_analysis`
+
+use mfp_core::prelude::*;
+use mfp_dram::geometry::Platform;
+use mfp_dram::time::SimDuration;
+use mfp_features::fault_analysis::FaultThresholds;
+use mfp_sim::config::FleetConfig;
+use mfp_sim::fleet::simulate_fleet;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50.0);
+    eprintln!("simulating 1:{scale:.0}-scale fleet...");
+    let fleet = simulate_fleet(&FleetConfig::calibrated(scale, 7));
+    let (ces, ues, storms) = fleet.log.counts();
+    eprintln!("{ces} CEs, {ues} UEs, {storms} CE storms\n");
+
+    println!("== Table I: dataset description ==");
+    for row in dataset_summary(&fleet, SimDuration::hours(3)) {
+        println!(
+            "{:<14} CE DIMMs {:<6} UE DIMMs {:<5} predictable {:>3.0}%  sudden {:>3.0}%",
+            row.platform.to_string(),
+            row.dimms_with_ces,
+            row.dimms_with_ues,
+            row.predictable_pct,
+            row.sudden_pct
+        );
+    }
+
+    println!("\n== Fig. 4: relative UE rate by observed fault mode ==");
+    for platform_rates in relative_ue_by_fault_mode(&fleet, &FaultThresholds::default()) {
+        println!("{}", platform_rates.platform);
+        for (label, n, ue, pct) in &platform_rates.rates {
+            let bar = "#".repeat((pct / 2.0).round() as usize);
+            println!("  {label:<14} {n:>5} DIMMs  {ue:>4} UEs  {pct:>5.1}% {bar}");
+        }
+    }
+
+    println!("\n== Fig. 5: UE rate by accumulated error-bit pattern ==");
+    for platform in [Platform::IntelPurley, Platform::IntelWhitley] {
+        println!("{platform}");
+        for panel in error_bit_analysis(&fleet, platform) {
+            println!("  {}:", panel.statistic);
+            for (bucket, n, _ue, pct) in &panel.buckets {
+                if *n < 5 {
+                    continue; // skip sparse buckets
+                }
+                let bar = "#".repeat((pct / 2.0).round() as usize);
+                println!("    {bucket:>2}: {n:>5} DIMMs  {pct:>5.1}% {bar}");
+            }
+        }
+    }
+}

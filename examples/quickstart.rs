@@ -1,0 +1,41 @@
+//! Quickstart: simulate a small fleet, print the dataset summary
+//! (paper Table I) and evaluate one predictor on Intel Purley.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mfp_core::prelude::*;
+use mfp_dram::geometry::Platform;
+use mfp_ml::model::Algorithm;
+
+fn main() {
+    // A 1:200-scale fleet over 120 simulated days — seconds to simulate.
+    let study = Study::smoke(42);
+
+    println!("== Dataset summary (Table I shape) ==");
+    for row in study.dataset_summary() {
+        println!(
+            "{:<14} CE DIMMs: {:<5} UE DIMMs: {:<4} predictable: {:>4.0}%  sudden: {:>4.0}%",
+            row.platform.to_string(),
+            row.dimms_with_ces,
+            row.dimms_with_ues,
+            row.predictable_pct,
+            row.sudden_pct
+        );
+    }
+
+    println!("\n== LightGBM on Intel Purley ==");
+    let result = study.evaluate(Platform::IntelPurley, Algorithm::LightGbm);
+    let e = &result.evaluation;
+    println!(
+        "precision {:.2}  recall {:.2}  F1 {:.2}  VIRR {:.2}  (threshold {:.3})",
+        e.precision, e.recall, e.f1, e.virr, e.threshold
+    );
+    println!(
+        "confusion: tp={} fp={} fn={} tn={}",
+        e.confusion.tp, e.confusion.fp, e.confusion.fn_, e.confusion.tn
+    );
+    println!();
+    println!("Note: the smoke fleet holds only a handful of failing DIMMs, so");
+    println!("these metrics are noisy. Run the paper-scale comparison with:");
+    println!("    cargo run --release -p mfp-bench --bin table2");
+}

@@ -1,0 +1,2 @@
+//! Meta-crate re-exporting the memfault workspace.
+pub use mfp_core as core;

@@ -1,0 +1,154 @@
+//! Cross-crate integration of the MLOps layer against simulated fleet
+//! data: ingestion, materialization, deployment and online prediction.
+
+use mfp_dram::geometry::Platform;
+use mfp_dram::time::{SimDuration, SimTime};
+use mfp_features::fault_analysis::FaultThresholds;
+use mfp_features::labeling::ProblemConfig;
+use mfp_ml::model::Algorithm;
+use mfp_mlops::prelude::*;
+use mfp_sim::config::FleetConfig;
+use mfp_sim::fleet::simulate_fleet;
+use std::collections::BTreeMap;
+
+fn setup() -> (mfp_sim::fleet::FleetResult, DataLake) {
+    let fleet = simulate_fleet(&FleetConfig::smoke(41));
+    let lake = DataLake::new();
+    for t in &fleet.dimms {
+        lake.register_dimm(t.id, t.platform, t.spec);
+    }
+    (fleet, lake)
+}
+
+#[test]
+fn lake_roundtrips_fleet_logs() {
+    let (fleet, lake) = setup();
+    let rejected = lake.ingest_encoded(&fleet.log.encode()).expect("decode");
+    assert_eq!(rejected, 0, "catalog covers every simulated DIMM");
+    assert_eq!(lake.len(), fleet.log.len());
+    // Per-platform query returns only that platform's events.
+    for p in Platform::ALL {
+        let events = lake.query(p, SimTime::ZERO, SimTime::ZERO + SimDuration::days(365));
+        for e in &events {
+            assert_eq!(lake.dimm_info(e.dimm()).unwrap().0, p);
+        }
+    }
+}
+
+#[test]
+fn materialized_features_match_direct_extraction() {
+    let (fleet, lake) = setup();
+    lake.ingest(fleet.log.events());
+    let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+    let horizon = SimTime::ZERO + fleet.config.horizon;
+    let set = store.materialize(&lake, Platform::IntelPurley, SimTime::ZERO, horizon);
+    let direct = mfp_features::dataset::build_samples(
+        &fleet,
+        Platform::IntelPurley,
+        store.problem(),
+        &FaultThresholds::default(),
+    );
+    assert_eq!(set.len(), direct.len(), "sample counts must agree");
+    assert_eq!(set.features, direct.features, "feature values must agree");
+    assert_eq!(set.labels, direct.labels);
+}
+
+#[test]
+fn full_mlops_loop_on_simulated_data() {
+    let (fleet, lake) = setup();
+    let split = SimTime::ZERO + SimDuration::days(80);
+    let historical: Vec<_> = fleet
+        .log
+        .events()
+        .iter()
+        .filter(|e| e.time() < split)
+        .copied()
+        .collect();
+    lake.ingest(&historical);
+
+    let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+    let train = store
+        .materialize(&lake, Platform::IntelPurley, SimTime::ZERO, SimTime::ZERO + SimDuration::days(50))
+        .downsample_negatives(6);
+    let bench = store.materialize(
+        &lake,
+        Platform::IntelPurley,
+        SimTime::ZERO + SimDuration::days(50),
+        split,
+    );
+    if train.positives() == 0 {
+        // A tiny smoke fleet may lack early positives; nothing to assert.
+        return;
+    }
+
+    let registry = ModelRegistry::new();
+    let run = run_pipeline(
+        &registry,
+        &PipelineConfig::default(),
+        Algorithm::RandomForest,
+        Platform::IntelPurley,
+        split,
+        &train,
+        &bench,
+        &bench,
+    );
+    assert!(run.deployed, "{:?}", run.stages);
+
+    // Stream the remainder and check alarms behave.
+    let mut predictor = OnlinePredictor::new(
+        &lake,
+        &store,
+        &registry,
+        Platform::IntelPurley,
+        OnlineConfig::default(),
+    );
+    let mut ue_times: BTreeMap<mfp_dram::address::DimmId, SimTime> = BTreeMap::new();
+    for e in fleet.log.events().iter().filter(|e| e.time() >= split) {
+        if lake.dimm_info(e.dimm()).map(|(p, _)| p) == Some(Platform::IntelPurley) {
+            predictor.observe(e);
+            if e.is_ue() {
+                ue_times.entry(e.dimm()).or_insert(e.time());
+            }
+        }
+    }
+    predictor.finish(SimTime::ZERO + fleet.config.horizon);
+
+    let report = evaluate_mitigation(
+        predictor.alarms(),
+        &ue_times,
+        &MitigationConfig::default(),
+    );
+    // Consistency: counted outcomes cover all alarmed + failed DIMMs.
+    assert_eq!(
+        report.tp + report.fn_,
+        ue_times.len() as u32,
+        "every failure is a TP or FN"
+    );
+    assert!(report.virr_measured <= 1.0);
+}
+
+#[test]
+fn drift_between_disjoint_periods_is_finite() {
+    let (fleet, lake) = setup();
+    lake.ingest(fleet.log.events());
+    let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+    let early = store.materialize(
+        &lake,
+        Platform::IntelPurley,
+        SimTime::ZERO,
+        SimTime::ZERO + SimDuration::days(60),
+    );
+    let late = store.materialize(
+        &lake,
+        Platform::IntelPurley,
+        SimTime::ZERO + SimDuration::days(60),
+        SimTime::ZERO + SimDuration::days(120),
+    );
+    if early.is_empty() || late.is_empty() {
+        return;
+    }
+    let report = psi_report(&early, &late, 10);
+    assert!(report.max_psi().is_finite());
+    // A stationary simulator should not show catastrophic drift.
+    assert!(report.mean_psi() < 1.0, "mean PSI {}", report.mean_psi());
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the ECC substrate: the correction guarantees
+//! that define each code, exercised with random error patterns.
+
+use mfp_dram::bus::ErrorTransfer;
+use mfp_dram::geometry::{DataWidth, Platform};
+use mfp_ecc::gf::{GF16, GF256};
+use mfp_ecc::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random error pattern confined to one x4 device.
+fn single_device_pattern() -> impl Strategy<Value = ErrorTransfer> {
+    (0u8..18, proptest::collection::vec((0u8..8, 0u8..4), 1..16)).prop_map(|(dev, bits)| {
+        ErrorTransfer::from_bits(bits.into_iter().map(|(beat, dq)| (beat, dev * 4 + dq)))
+    })
+}
+
+/// Strategy: an arbitrary non-empty error pattern.
+fn any_pattern() -> impl Strategy<Value = ErrorTransfer> {
+    proptest::collection::vec((0u8..8, 0u8..72), 1..24)
+        .prop_map(ErrorTransfer::from_bits)
+}
+
+proptest! {
+    /// Whitley and K920 (full SDDC) correct EVERY single-device pattern —
+    /// the defining capability of device-level correction.
+    #[test]
+    fn sddc_platforms_correct_any_single_device_fault(t in single_device_pattern()) {
+        for p in [Platform::IntelWhitley, Platform::K920] {
+            let ecc = PlatformEcc::for_platform(p);
+            prop_assert_eq!(
+                ecc.decode(&t, DataWidth::X4),
+                DecodeOutcome::Corrected,
+                "{} must correct all single-device patterns", p
+            );
+        }
+    }
+
+    /// A single erroneous bit is corrected by every platform and width.
+    #[test]
+    fn single_bits_always_corrected(beat in 0u8..8, dq in 0u8..72) {
+        let t = ErrorTransfer::from_bits([(beat, dq)]);
+        for p in Platform::ALL {
+            let ecc = PlatformEcc::for_platform(p);
+            for w in [DataWidth::X4, DataWidth::X8] {
+                prop_assert_eq!(ecc.decode(&t, w), DecodeOutcome::Corrected);
+            }
+        }
+    }
+
+    /// Decoding is deterministic: same input, same outcome.
+    #[test]
+    fn decoding_is_deterministic(t in any_pattern()) {
+        for p in Platform::ALL {
+            let ecc = PlatformEcc::for_platform(p);
+            let a = ecc.decode(&t, DataWidth::X4);
+            let b = ecc.decode(&t, DataWidth::X4);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// A clean transfer is never flagged.
+    #[test]
+    fn clean_is_clean(_x in 0u8..1) {
+        let t = ErrorTransfer::new();
+        for p in Platform::ALL {
+            let ecc = PlatformEcc::for_platform(p);
+            prop_assert_eq!(ecc.decode(&t, DataWidth::X4), DecodeOutcome::Clean);
+        }
+    }
+
+    /// Hsiao SEC-DED: random double-bit errors are always detected, never
+    /// miscorrected (the DED guarantee).
+    #[test]
+    fn hsiao_detects_all_doubles(i in 0usize..72, j in 0usize..72) {
+        prop_assume!(i != j);
+        let code = Hsiao7264::new();
+        let e = (1u128 << i) | (1u128 << j);
+        prop_assert_eq!(code.decode_error(e), WordOutcome::Detected);
+    }
+
+    /// RS over GF(256): every single-symbol error is corrected exactly.
+    #[test]
+    fn rs256_corrects_single_symbols(pos in 0usize..18, mag in 1u8..=255) {
+        let code = RsCode::new(&GF256, 18, 16);
+        let mut e = [0u8; 18];
+        e[pos] = mag;
+        prop_assert_eq!(code.decode_error(&e), RsOutcome::Corrected);
+    }
+
+    /// RS t=2 over GF(256): every double-symbol error is corrected.
+    #[test]
+    fn rs256_t2_corrects_doubles(
+        p1 in 0usize..18,
+        p2 in 0usize..18,
+        m1 in 1u8..=255,
+        m2 in 1u8..=255,
+    ) {
+        prop_assume!(p1 != p2);
+        let code = RsCode::new(&GF256, 18, 14);
+        let mut e = [0u8; 18];
+        e[p1] = m1;
+        e[p2] = m2;
+        prop_assert_eq!(code.decode_error(&e), RsOutcome::Corrected);
+    }
+
+    /// GF(16) field laws on random elements.
+    #[test]
+    fn gf16_field_laws(a in 0u8..16, b in 0u8..16, c in 0u8..16) {
+        prop_assert_eq!(GF16.mul(a, b), GF16.mul(b, a));
+        prop_assert_eq!(
+            GF16.mul(a, GF16.mul(b, c)),
+            GF16.mul(GF16.mul(a, b), c)
+        );
+        prop_assert_eq!(GF16.mul(a, b ^ c), GF16.mul(a, b) ^ GF16.mul(a, c));
+        if a != 0 {
+            prop_assert_eq!(GF16.mul(a, GF16.inv(a)), 1);
+        }
+    }
+
+    /// GF(256): division inverts multiplication.
+    #[test]
+    fn gf256_div_inverts_mul(a in 0u8..=255, b in 1u8..=255) {
+        prop_assert_eq!(GF256.div(GF256.mul(a, b), b), a);
+    }
+}

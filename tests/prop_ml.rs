@@ -1,0 +1,117 @@
+//! Property-based tests of the ML layer: metric laws, binning, and model
+//! output validity on random tabular data.
+
+use mfp_dram::address::DimmId;
+use mfp_dram::time::SimTime;
+use mfp_features::dataset::SampleSet;
+use mfp_ml::binning::Binner;
+use mfp_ml::metrics::{best_f1_threshold, best_vote_threshold, dimm_level_vote, Confusion};
+use mfp_ml::model::{Algorithm, Model};
+use proptest::prelude::*;
+
+fn labels_and_scores() -> impl Strategy<Value = (Vec<bool>, Vec<f32>)> {
+    proptest::collection::vec((any::<bool>(), 0.0f32..1.0), 2..200)
+        .prop_map(|v| v.into_iter().unzip())
+}
+
+fn small_set() -> impl Strategy<Value = SampleSet> {
+    proptest::collection::vec(
+        (proptest::collection::vec(-10.0f32..10.0, 4), any::<bool>()),
+        8..80,
+    )
+    .prop_map(|rows| {
+        let mut s = SampleSet::new();
+        s.schema = (0..4).map(|i| format!("f{i}")).collect();
+        for (i, (row, y)) in rows.into_iter().enumerate() {
+            s.push(
+                row,
+                y,
+                DimmId::new((i / 4) as u32, 0),
+                SimTime::from_secs(i as u64 * 3600),
+            );
+        }
+        s
+    })
+}
+
+proptest! {
+    /// Confusion-derived metrics obey their defining bounds.
+    #[test]
+    fn metric_bounds((labels, scores) in labels_and_scores(), th in 0.0f32..1.0) {
+        let preds: Vec<bool> = scores.iter().map(|&s| s >= th).collect();
+        let c = Confusion::from_predictions(&labels, &preds);
+        let n = c.tp + c.fp + c.fn_ + c.tn;
+        prop_assert_eq!(n as usize, labels.len());
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((0.0..=1.0).contains(&c.recall()));
+        prop_assert!((0.0..=1.0).contains(&c.f1()));
+        // F1 between min and max of precision/recall (harmonic mean law),
+        // whenever both are defined.
+        if c.precision() > 0.0 && c.recall() > 0.0 {
+            let lo = c.precision().min(c.recall());
+            let hi = c.precision().max(c.recall());
+            prop_assert!(c.f1() >= lo * 0.999_999 || c.f1() <= hi);
+            prop_assert!(c.f1() <= hi + 1e-12);
+        }
+        // VIRR <= recall always (y_c > 0 only subtracts).
+        prop_assert!(c.virr(0.1) <= c.recall() + 1e-12);
+    }
+
+    /// The swept threshold is at least as good as the 0.5 default.
+    #[test]
+    fn best_threshold_dominates_default((labels, scores) in labels_and_scores()) {
+        let th = best_f1_threshold(&labels, &scores);
+        let f1_at = |t: f32| {
+            let preds: Vec<bool> = scores.iter().map(|&s| s >= t).collect();
+            Confusion::from_predictions(&labels, &preds).f1()
+        };
+        prop_assert!(f1_at(th) + 1e-9 >= f1_at(0.5));
+    }
+
+    /// Vote aggregation with more required votes never predicts more DIMMs.
+    #[test]
+    fn more_votes_never_fire_more(set in small_set(), th in 0.0f32..1.0) {
+        let scores: Vec<f32> = (0..set.len()).map(|i| (i as f32 * 0.37) % 1.0).collect();
+        let (_, pred1) = dimm_level_vote(&set, &scores, th, 1);
+        let (_, pred3) = dimm_level_vote(&set, &scores, th, 3);
+        for (a, b) in pred1.iter().zip(&pred3) {
+            prop_assert!(!b || *a, "vote-3 fired where vote-1 did not");
+        }
+    }
+
+    /// The vote threshold tuner returns a threshold within [0, 1].
+    #[test]
+    fn vote_threshold_in_range(set in small_set()) {
+        let scores: Vec<f32> = (0..set.len()).map(|i| (i as f32 * 0.61) % 1.0).collect();
+        let th = best_vote_threshold(&set, &scores, 2);
+        prop_assert!((0.0..=1.0).contains(&th));
+    }
+
+    /// Binning maps every value to a valid bin, monotonically.
+    #[test]
+    fn binner_is_monotone(set in small_set(), probe in proptest::collection::vec(-20.0f32..20.0, 10)) {
+        let binner = Binner::fit(&set, 16);
+        for f in 0..set.dim() {
+            let mut sorted = probe.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let bins: Vec<u8> = sorted.iter().map(|&v| binner.bin_value(f, v)).collect();
+            prop_assert!(bins.windows(2).all(|w| w[0] <= w[1]));
+            for &b in &bins {
+                prop_assert!((b as usize) < binner.bins(f).max(1));
+            }
+        }
+    }
+
+    /// Trained tree models always emit probabilities in [0, 1] — even on
+    /// inputs far outside the training distribution.
+    #[test]
+    fn models_emit_probabilities(set in small_set(), probe in proptest::collection::vec(-1e6f32..1e6, 4)) {
+        prop_assume!(set.positives() > 0 && set.positives() < set.len());
+        for algo in [Algorithm::RandomForest, Algorithm::LightGbm] {
+            let model = Model::train(algo, &set);
+            let p = model.predict_proba(&probe);
+            prop_assert!((0.0..=1.0).contains(&p), "{algo}: {p}");
+            prop_assert!(!p.is_nan());
+        }
+    }
+}
