@@ -31,6 +31,10 @@ fn ecc_decode(c: &mut Criterion) {
             g.bench_function(format!("{}/{name}", p.code()), |b| {
                 b.iter(|| black_box(ecc.decode(black_box(t), DataWidth::X4)))
             });
+            let cached = CachedPlatformEcc::for_platform(p);
+            g.bench_function(format!("{}/{name}/cached", p.code()), |b| {
+                b.iter(|| black_box(cached.decode(black_box(t), DataWidth::X4)))
+            });
         }
     }
     g.finish();
@@ -109,5 +113,69 @@ fn features_and_models(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ecc_decode, secded_and_rs, fleet_sim, features_and_models);
+fn sample_assembly(c: &mut Criterion) {
+    let fleet = simulate_fleet(&FleetConfig::smoke(7));
+    let problem = ProblemConfig::default();
+    let th = FaultThresholds::default();
+    let by_dimm = fleet.log.by_dimm();
+
+    let mut g = c.benchmark_group("sample_assembly");
+    g.sample_size(10);
+
+    // Per-DIMM extraction: batch rescans every window at every sample time;
+    // streaming advances each window once. Same output, different cost.
+    g.bench_function("extract_batch", |b| {
+        b.iter(|| {
+            for truth in fleet.platform_dimms(Platform::IntelPurley) {
+                let Some(events) = by_dimm.get(&truth.id) else {
+                    continue;
+                };
+                let history = DimmHistory::new(events);
+                for t in problem.sample_times(&history, fleet.config.horizon) {
+                    black_box(extract_features(&history, &truth.spec, t, &problem, &th));
+                }
+            }
+        })
+    });
+    g.bench_function("extract_streaming", |b| {
+        b.iter(|| {
+            for truth in fleet.platform_dimms(Platform::IntelPurley) {
+                let Some(events) = by_dimm.get(&truth.id) else {
+                    continue;
+                };
+                let history = DimmHistory::new(events);
+                let times = problem.sample_times(&history, fleet.config.horizon);
+                let mut stream = FeatureStream::new(history, &truth.spec, &problem, &th);
+                for t in times {
+                    black_box(stream.features_at(t));
+                }
+            }
+        })
+    });
+
+    // Whole-fleet assembly at fixed worker counts (identical output).
+    for workers in [1usize, 2, 4] {
+        g.bench_function(format!("build_samples_{workers}w"), |b| {
+            b.iter(|| {
+                black_box(build_samples_with_workers(
+                    &fleet,
+                    Platform::IntelPurley,
+                    &problem,
+                    &th,
+                    workers,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ecc_decode,
+    secded_and_rs,
+    fleet_sim,
+    features_and_models,
+    sample_assembly
+);
 criterion_main!(benches);

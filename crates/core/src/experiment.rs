@@ -3,7 +3,7 @@
 
 use mfp_dram::geometry::Platform;
 use mfp_dram::time::{SimDuration, SimTime};
-use mfp_features::dataset::{build_samples, SampleSet};
+use mfp_features::dataset::{build_samples, build_samples_with_workers, SampleSet};
 use mfp_features::fault_analysis::FaultThresholds;
 use mfp_features::labeling::ProblemConfig;
 use mfp_ml::metrics::{best_vote_threshold, dimm_level_vote, Confusion, Evaluation};
@@ -30,6 +30,10 @@ pub struct ExperimentConfig {
     pub votes: usize,
     /// Training seed.
     pub seed: u64,
+    /// Worker threads for sample assembly; 0 = one per available core.
+    /// Output is bit-identical for every setting.
+    #[serde(default)]
+    pub assembly_workers: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -43,6 +47,7 @@ impl Default for ExperimentConfig {
             ft_extra_keep: 3,
             votes: 2,
             seed: 17,
+            assembly_workers: 0,
         }
     }
 }
@@ -78,7 +83,17 @@ pub fn build_splits(
     platform: Platform,
     cfg: &ExperimentConfig,
 ) -> PlatformSplits {
-    let all = build_samples(fleet, platform, &cfg.problem, &cfg.thresholds);
+    let all = if cfg.assembly_workers == 0 {
+        build_samples(fleet, platform, &cfg.problem, &cfg.thresholds)
+    } else {
+        build_samples_with_workers(
+            fleet,
+            platform,
+            &cfg.problem,
+            &cfg.thresholds,
+            cfg.assembly_workers,
+        )
+    };
     let (fitval, test) = all.split_by_time(cfg.validate_until);
     let (fit_full, validation) = fitval.split_by_time(cfg.fit_until);
     PlatformSplits {
@@ -276,6 +291,36 @@ mod tests {
             .iter()
             .all(|&t| t >= cfg.fit_until && t < cfg.validate_until));
         assert!(splits.test.times.iter().all(|&t| t >= cfg.validate_until));
+    }
+
+    #[test]
+    fn assembly_worker_count_does_not_change_splits() {
+        let fleet = simulate_fleet(&FleetConfig::smoke(5));
+        let base = ExperimentConfig {
+            fit_until: SimTime::ZERO + SimDuration::days(50),
+            validate_until: SimTime::ZERO + SimDuration::days(80),
+            ..Default::default()
+        };
+        let one = build_splits(
+            &fleet,
+            Platform::IntelPurley,
+            &ExperimentConfig {
+                assembly_workers: 1,
+                ..base
+            },
+        );
+        let many = build_splits(
+            &fleet,
+            Platform::IntelPurley,
+            &ExperimentConfig {
+                assembly_workers: 3,
+                ..base
+            },
+        );
+        assert_eq!(one.fit.features, many.fit.features);
+        assert_eq!(one.validation.features, many.validation.features);
+        assert_eq!(one.test.features, many.test.features);
+        assert_eq!(one.test.labels, many.test.labels);
     }
 
     #[test]

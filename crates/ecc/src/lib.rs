@@ -45,7 +45,7 @@ pub mod secded;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
-    pub use crate::platforms::{K920Ecc, PlatformEcc, PurleyEcc, WhitleyEcc};
+    pub use crate::platforms::{CachedPlatformEcc, K920Ecc, PlatformEcc, PurleyEcc, WhitleyEcc};
     pub use crate::rs::{RsCode, RsOutcome};
     pub use crate::scheme::{DecodeOutcome, EccScheme, SddcBeatPair, SddcPerBeat, SecDedPerBeat};
     pub use crate::secded::{Hsiao7264, WordOutcome};

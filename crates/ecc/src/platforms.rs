@@ -27,6 +27,8 @@ use crate::scheme::{DecodeOutcome, EccScheme, SddcBeatPair, SddcPerBeat};
 use crate::secded::Hsiao7264;
 use mfp_dram::bus::ErrorTransfer;
 use mfp_dram::geometry::{DataWidth, Platform, BURST_BEATS};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// The Purley ECC model: full SDDC on even beats, SEC-DED on odd beats
 /// (check bits repurposed for metadata, per \[7\]).
@@ -130,6 +132,81 @@ impl EccScheme for PlatformEcc {
     }
 }
 
+/// A memoizing wrapper around [`PlatformEcc`].
+///
+/// Fault processes replay the same few error patterns (a stuck cell emits
+/// one transfer signature on every hit), so full syndrome decoding is
+/// mostly redundant work. This wrapper caches `(transfer, width) ->`
+/// [`DecodeOutcome`] in a bounded table; decoding is pure, so a hit is
+/// exactly the uncached result. When the table fills it is cleared rather
+/// than evicted piecemeal — the working set per DIMM is tiny, so a rare
+/// full rebuild beats per-lookup bookkeeping.
+///
+/// Implements [`EccScheme`], so it drops into any `&dyn EccScheme` call
+/// site. Interior mutability keeps `decode(&self)`; the decode itself runs
+/// outside the lock.
+#[derive(Debug)]
+pub struct CachedPlatformEcc {
+    ecc: PlatformEcc,
+    cache: Mutex<HashMap<(ErrorTransfer, DataWidth), DecodeOutcome>>,
+    capacity: usize,
+}
+
+impl CachedPlatformEcc {
+    /// Default cache bound — far above any per-DIMM fault working set.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Wraps `ecc` with a memo table of [`Self::DEFAULT_CAPACITY`].
+    pub fn new(ecc: PlatformEcc) -> Self {
+        Self::with_capacity(ecc, Self::DEFAULT_CAPACITY)
+    }
+
+    /// The cached scheme shipped by `platform`.
+    pub fn for_platform(platform: Platform) -> Self {
+        Self::new(PlatformEcc::for_platform(platform))
+    }
+
+    /// Wraps `ecc` with an explicit cache bound (`capacity >= 1`).
+    pub fn with_capacity(ecc: PlatformEcc, capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be positive");
+        CachedPlatformEcc {
+            ecc,
+            cache: Mutex::new(HashMap::with_capacity(capacity.min(Self::DEFAULT_CAPACITY))),
+            capacity,
+        }
+    }
+
+    /// The wrapped, uncached scheme.
+    pub fn uncached(&self) -> &PlatformEcc {
+        &self.ecc
+    }
+
+    /// Number of memoized outcomes currently held.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.lock().expect("ecc cache lock").len()
+    }
+}
+
+impl EccScheme for CachedPlatformEcc {
+    fn name(&self) -> &'static str {
+        self.ecc.name()
+    }
+
+    fn decode(&self, transfer: &ErrorTransfer, width: DataWidth) -> DecodeOutcome {
+        let key = (*transfer, width);
+        if let Some(&out) = self.cache.lock().expect("ecc cache lock").get(&key) {
+            return out;
+        }
+        let out = self.ecc.decode(transfer, width);
+        let mut cache = self.cache.lock().expect("ecc cache lock");
+        if cache.len() >= self.capacity {
+            cache.clear();
+        }
+        cache.insert(key, out);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +298,53 @@ mod tests {
                 "{p}: {out:?}"
             );
         }
+    }
+
+    #[test]
+    fn cached_decode_agrees_with_uncached() {
+        // Sweep a grid of patterns — single-bit, device-confined multi-bit,
+        // cross-device — through each platform twice, so the second pass is
+        // served from the cache, and demand equality throughout.
+        let mut patterns = Vec::new();
+        for beat in 0..8u8 {
+            for dq in [0u8, 3, 21, 70] {
+                patterns.push(ErrorTransfer::from_bits([(beat, dq)]));
+            }
+            patterns.push(device_bits(5, &[(beat, 0), (beat, 1)]));
+            patterns.push(device_bits(2, &[(beat, 0), ((beat + 1) % 8, 3)]));
+            let mut t = device_bits(3, &[(beat, 0), (beat, 1)]);
+            t.set(beat, 9 * 4);
+            patterns.push(t);
+        }
+        for p in Platform::ALL {
+            let cached = CachedPlatformEcc::for_platform(p);
+            for width in [DataWidth::X4, DataWidth::X8] {
+                for _pass in 0..2 {
+                    for t in &patterns {
+                        assert_eq!(
+                            cached.decode(t, width),
+                            cached.uncached().decode(t, width),
+                            "{p} {width:?} {t:?}"
+                        );
+                    }
+                }
+            }
+            assert!(cached.cached_entries() > 0, "cache must be populated");
+        }
+    }
+
+    #[test]
+    fn cache_clears_at_capacity_and_stays_correct() {
+        let cached =
+            CachedPlatformEcc::with_capacity(PlatformEcc::for_platform(Platform::IntelWhitley), 4);
+        for dq in 0..32u8 {
+            let t = ErrorTransfer::from_bits([(0, dq)]);
+            assert_eq!(
+                cached.decode(&t, DataWidth::X4),
+                cached.uncached().decode(&t, DataWidth::X4)
+            );
+        }
+        assert!(cached.cached_entries() <= 4, "bound must hold after churn");
     }
 
     #[test]

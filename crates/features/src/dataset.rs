@@ -1,12 +1,20 @@
 //! Sample-set assembly: from a fleet's BMC log to labelled feature matrices.
+//!
+//! Assembly streams each DIMM's history once through a
+//! [`FeatureStream`](crate::stream::FeatureStream) and fans DIMMs out across
+//! worker threads; the merged [`SampleSet`] is bit-identical regardless of
+//! worker count because DIMMs are chunked and merged in fleet generation
+//! order and each per-DIMM extraction is deterministic.
 
-use crate::extract::{extract_features, feature_names};
 use crate::fault_analysis::FaultThresholds;
 use crate::history::DimmHistory;
 use crate::labeling::ProblemConfig;
+use crate::stream::FeatureStream;
 use mfp_dram::address::DimmId;
+use mfp_dram::event::MemEvent;
 use mfp_dram::geometry::Platform;
-use mfp_dram::time::SimTime;
+use mfp_dram::spec::DimmSpec;
+use mfp_dram::time::{SimDuration, SimTime};
 use mfp_sim::fleet::FleetResult;
 use serde::{Deserialize, Serialize};
 
@@ -33,9 +41,25 @@ impl SampleSet {
     /// Creates an empty set with the standard schema.
     pub fn new() -> Self {
         SampleSet {
-            schema: feature_names(),
+            schema: crate::extract::feature_names(),
             ..Default::default()
         }
+    }
+
+    /// Creates an empty set with room for `samples` rows, avoiding
+    /// reallocation during assembly.
+    pub fn with_capacity(samples: usize) -> Self {
+        let mut set = SampleSet::new();
+        set.reserve(samples);
+        set
+    }
+
+    /// Reserves room for at least `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.features.reserve(additional * self.dim());
+        self.labels.reserve(additional);
+        self.dimms.reserve(additional);
+        self.times.reserve(additional);
     }
 
     /// Number of samples.
@@ -75,6 +99,32 @@ impl SampleSet {
         self.times.push(time);
     }
 
+    /// Copies sample `i` of `src` onto the end of this set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schemas differ or `i` is out of range.
+    pub fn push_from(&mut self, src: &SampleSet, i: usize) {
+        assert_eq!(self.schema, src.schema, "schema mismatch");
+        self.features.extend_from_slice(src.row(i));
+        self.labels.push(src.labels[i]);
+        self.dimms.push(src.dimms[i]);
+        self.times.push(src.times[i]);
+    }
+
+    /// Moves all samples of `other` onto the end of this set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schemas differ.
+    pub fn append(&mut self, other: &mut SampleSet) {
+        assert_eq!(self.schema, other.schema, "schema mismatch");
+        self.features.append(&mut other.features);
+        self.labels.append(&mut other.labels);
+        self.dimms.append(&mut other.dimms);
+        self.times.append(&mut other.times);
+    }
+
     /// Number of positive samples.
     pub fn positives(&self) -> usize {
         self.labels.iter().filter(|&&l| l).count()
@@ -83,16 +133,12 @@ impl SampleSet {
     /// Splits into (train, test) by evaluation time: samples strictly
     /// before `t` train, the rest test.
     pub fn split_by_time(&self, t: SimTime) -> (SampleSet, SampleSet) {
-        let mut train = SampleSet::new();
-        let mut test = SampleSet::new();
+        let n_train = self.times.iter().filter(|&&s| s < t).count();
+        let mut train = SampleSet::with_capacity(n_train);
+        let mut test = SampleSet::with_capacity(self.len() - n_train);
         for i in 0..self.len() {
             let target = if self.times[i] < t { &mut train } else { &mut test };
-            target.push(
-                self.row(i).to_vec(),
-                self.labels[i],
-                self.dimms[i],
-                self.times[i],
-            );
+            target.push_from(self, i);
         }
         (train, test)
     }
@@ -101,15 +147,15 @@ impl SampleSet {
     /// (class rebalancing for training).
     pub fn downsample_negatives(&self, keep_every: usize) -> SampleSet {
         assert!(keep_every >= 1);
-        let mut out = SampleSet::new();
+        let negatives = self.len() - self.positives();
+        let kept = self.positives() + negatives.div_ceil(keep_every);
+        let mut out = SampleSet::with_capacity(kept);
         let mut neg_seen = 0usize;
         for i in 0..self.len() {
-            if self.labels[i] {
-                out.push(self.row(i).to_vec(), true, self.dimms[i], self.times[i]);
-            } else {
-                if neg_seen.is_multiple_of(keep_every) {
-                    out.push(self.row(i).to_vec(), false, self.dimms[i], self.times[i]);
-                }
+            if self.labels[i] || neg_seen.is_multiple_of(keep_every) {
+                out.push_from(self, i);
+            }
+            if !self.labels[i] {
                 neg_seen += 1;
             }
         }
@@ -117,30 +163,103 @@ impl SampleSet {
     }
 }
 
+/// Streams one DIMM's history into samples appended onto `set`.
+fn stream_dimm_samples(
+    set: &mut SampleSet,
+    id: DimmId,
+    spec: &DimmSpec,
+    events: &[&MemEvent],
+    horizon: SimDuration,
+    cfg: &ProblemConfig,
+    thresholds: &FaultThresholds,
+) {
+    let history = DimmHistory::new(events);
+    let times = cfg.sample_times(&history, horizon);
+    if times.is_empty() {
+        return;
+    }
+    let first_ue = history.first_ue();
+    let mut stream = FeatureStream::new(history, spec, cfg, thresholds);
+    set.reserve(times.len());
+    for t in times {
+        let Some(label) = cfg.label_at(t, first_ue) else {
+            continue;
+        };
+        let row = stream.features_at(t);
+        set.push(row, label, id, t);
+    }
+}
+
 /// Builds the labelled sample set for one platform from a simulated fleet.
 ///
 /// Only DIMMs with CE history produce samples; sudden-UE DIMMs contribute
-/// none (the paper omits them for lack of predictive data).
+/// none (the paper omits them for lack of predictive data). Uses all
+/// available cores; see [`build_samples_with_workers`] for the guarantees.
 pub fn build_samples(
     fleet: &FleetResult,
     platform: Platform,
     cfg: &ProblemConfig,
     thresholds: &FaultThresholds,
 ) -> SampleSet {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    build_samples_with_workers(fleet, platform, cfg, thresholds, workers)
+}
+
+/// [`build_samples`] with an explicit worker count.
+///
+/// DIMMs are chunked in fleet generation order across `workers` scoped
+/// threads, each streaming its chunk with a
+/// [`FeatureStream`](crate::stream::FeatureStream); partial sets are merged
+/// back in chunk order. The result is bit-identical for every worker count
+/// (and to the batch extractor — see `tests/prop_features.rs`).
+pub fn build_samples_with_workers(
+    fleet: &FleetResult,
+    platform: Platform,
+    cfg: &ProblemConfig,
+    thresholds: &FaultThresholds,
+    workers: usize,
+) -> SampleSet {
     let by_dimm = fleet.log.by_dimm();
-    let mut set = SampleSet::new();
-    for truth in fleet.platform_dimms(platform) {
-        let Some(events) = by_dimm.get(&truth.id) else {
-            continue;
-        };
-        let history = DimmHistory::new(events);
-        for t in cfg.sample_times(&history, fleet.config.horizon) {
-            let Some(label) = cfg.label_at(t, history.first_ue()) else {
-                continue;
-            };
-            let row = extract_features(&history, &truth.spec, t, cfg, thresholds);
-            set.push(row, label, truth.id, t);
+    let dimms: Vec<_> = fleet
+        .platform_dimms(platform)
+        .filter_map(|truth| by_dimm.get(&truth.id).map(|events| (truth, events)))
+        .collect();
+
+    let workers = workers.max(1);
+    let chunk = dimms.len().div_ceil(workers).max(1);
+    let horizon = fleet.config.horizon;
+    let partials = crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        for slice in dimms.chunks(chunk) {
+            handles.push(s.spawn(move |_| {
+                let mut part = SampleSet::new();
+                for (truth, events) in slice {
+                    stream_dimm_samples(
+                        &mut part,
+                        truth.id,
+                        &truth.spec,
+                        events.as_slice(),
+                        horizon,
+                        cfg,
+                        thresholds,
+                    );
+                }
+                part
+            }));
         }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sample worker"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope");
+
+    let total = partials.iter().map(SampleSet::len).sum();
+    let mut set = SampleSet::with_capacity(total);
+    for mut part in partials {
+        set.append(&mut part);
     }
     set
 }
@@ -148,7 +267,7 @@ pub fn build_samples(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::extract::FEATURE_DIM;
+    use crate::extract::{extract_features, FEATURE_DIM};
     use mfp_sim::config::FleetConfig;
     use mfp_sim::fleet::simulate_fleet;
 
@@ -161,6 +280,40 @@ mod tests {
             &FaultThresholds::default(),
         );
         (fleet, set)
+    }
+
+    /// The pre-streaming assembly loop, kept as an oracle: batch-extracts
+    /// every sample independently.
+    fn build_samples_batch(
+        fleet: &FleetResult,
+        platform: Platform,
+        cfg: &ProblemConfig,
+        thresholds: &FaultThresholds,
+    ) -> SampleSet {
+        let by_dimm = fleet.log.by_dimm();
+        let mut set = SampleSet::new();
+        for truth in fleet.platform_dimms(platform) {
+            let Some(events) = by_dimm.get(&truth.id) else {
+                continue;
+            };
+            let history = DimmHistory::new(events);
+            for t in cfg.sample_times(&history, fleet.config.horizon) {
+                let Some(label) = cfg.label_at(t, history.first_ue()) else {
+                    continue;
+                };
+                let row = extract_features(&history, &truth.spec, t, cfg, thresholds);
+                set.push(row, label, truth.id, t);
+            }
+        }
+        set
+    }
+
+    fn assert_sets_identical(a: &SampleSet, b: &SampleSet) {
+        assert_eq!(a.schema, b.schema);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.dimms, b.dimms);
+        assert_eq!(a.times, b.times);
+        assert_eq!(a.features, b.features, "feature matrices must be bit-identical");
     }
 
     #[test]
@@ -182,6 +335,31 @@ mod tests {
     }
 
     #[test]
+    fn worker_count_does_not_change_output() {
+        let fleet = simulate_fleet(&FleetConfig::smoke(5));
+        let cfg = ProblemConfig::default();
+        let th = FaultThresholds::default();
+        let one = build_samples_with_workers(&fleet, Platform::IntelPurley, &cfg, &th, 1);
+        for workers in [2, 4, 7] {
+            let many =
+                build_samples_with_workers(&fleet, Platform::IntelPurley, &cfg, &th, workers);
+            assert_sets_identical(&one, &many);
+        }
+    }
+
+    #[test]
+    fn streaming_assembly_matches_batch_oracle() {
+        let fleet = simulate_fleet(&FleetConfig::smoke(5));
+        let cfg = ProblemConfig::default();
+        let th = FaultThresholds::default();
+        for platform in [Platform::IntelPurley, Platform::IntelWhitley, Platform::K920] {
+            let streamed = build_samples_with_workers(&fleet, platform, &cfg, &th, 3);
+            let batch = build_samples_batch(&fleet, platform, &cfg, &th);
+            assert_sets_identical(&streamed, &batch);
+        }
+    }
+
+    #[test]
     fn split_by_time_partitions() {
         let (fleet, set) = smoke_samples();
         let mid = SimTime::ZERO
@@ -198,6 +376,29 @@ mod tests {
         let down = set.downsample_negatives(10);
         assert_eq!(down.positives(), set.positives());
         assert!(down.len() < set.len());
+    }
+
+    #[test]
+    fn downsampling_capacity_estimate_is_exact() {
+        let (_, set) = smoke_samples();
+        for keep_every in [1, 2, 10] {
+            let down = set.downsample_negatives(keep_every);
+            let negatives = set.len() - set.positives();
+            assert_eq!(
+                down.len(),
+                set.positives() + negatives.div_ceil(keep_every)
+            );
+        }
+    }
+
+    #[test]
+    fn append_moves_all_samples() {
+        let (_, set) = smoke_samples();
+        let mut a = SampleSet::new();
+        let mut b = set.clone();
+        a.append(&mut b);
+        assert!(b.is_empty());
+        assert_sets_identical(&a, &set);
     }
 
     #[test]

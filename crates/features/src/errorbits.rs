@@ -106,21 +106,298 @@ impl ErrorBitStats {
         }
         s.total_devices = device_union.count_ones();
         for dev in 0..n_dev {
-            let dqm = dev_dq[dev];
-            let bm = dev_beats[dev];
-            if dqm == 0 || bm == 0 {
-                continue;
-            }
-            s.union_dev_dq = s.union_dev_dq.max(dqm.count_ones());
-            s.union_dev_beats = s.union_dev_beats.max(bm.count_ones());
-            s.union_dev_beat_interval = s.union_dev_beat_interval.max(mask_span(bm));
-            if bm & (bm >> 4) != 0 {
-                s.union_dev_interval4 = 1;
-            }
-            s.union_dev_dq_interval = s.union_dev_dq_interval.max(mask_span(dqm));
+            fold_device_union(&mut s, dev_dq[dev], dev_beats[dev]);
         }
         s
     }
+}
+
+/// Folds one device's accumulated (DQ mask, beat mask) into the window-union
+/// statistics. Shared by the batch path and [`RollingErrorBitStats`] so both
+/// evaluate the identical expressions.
+fn fold_device_union(s: &mut ErrorBitStats, dqm: u8, bm: u8) {
+    if dqm == 0 || bm == 0 {
+        return;
+    }
+    s.union_dev_dq = s.union_dev_dq.max(dqm.count_ones());
+    s.union_dev_beats = s.union_dev_beats.max(bm.count_ones());
+    s.union_dev_beat_interval = s.union_dev_beat_interval.max(mask_span(bm));
+    if bm & (bm >> 4) != 0 {
+        s.union_dev_interval4 = 1;
+    }
+    s.union_dev_dq_interval = s.union_dev_dq_interval.max(mask_span(dqm));
+}
+
+/// Per-CE bit geometry derived once from the transfer, so sliding windows
+/// can insert/evict the event without re-walking its bitmap.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CeBitProfile {
+    /// Distinct erroneous DQ lanes.
+    pub dq_count: u32,
+    /// Distinct erroneous beats.
+    pub beat_count: u32,
+    /// Total erroneous bits.
+    pub bit_count: u32,
+    /// DQ interval (`None` for a clean transfer).
+    pub dq_interval: Option<u32>,
+    /// Beat interval (`None` for a clean transfer).
+    pub beat_interval: Option<u32>,
+    /// Bitmask of devices with at least one erroneous bit.
+    pub device_mask: u32,
+    /// `(device, DQ mask within device, beat mask)` per touched device.
+    pub dev_bits: Vec<(u8, u8, u8)>,
+}
+
+impl CeBitProfile {
+    /// Derives the profile of one transfer under the given device width.
+    pub fn of(transfer: &mfp_dram::bus::ErrorTransfer, width: mfp_dram::geometry::DataWidth) -> Self {
+        let w = width.dq_per_device() as usize;
+        let n_dev = width.devices_per_rank() as usize;
+        let mut dev_dq = vec![0u8; n_dev];
+        let mut dev_beats = vec![0u8; n_dev];
+        for (beat, dq) in transfer.iter_bits() {
+            let dev = (dq as usize / w).min(n_dev - 1);
+            dev_dq[dev] |= 1 << (dq as usize - dev * w);
+            dev_beats[dev] |= 1 << beat;
+        }
+        let dev_bits = (0..n_dev)
+            .filter(|&d| dev_dq[d] != 0)
+            .map(|d| (d as u8, dev_dq[d], dev_beats[d]))
+            .collect();
+        CeBitProfile {
+            dq_count: transfer.dq_count(),
+            beat_count: transfer.beat_count(),
+            bit_count: transfer.bit_count(),
+            dq_interval: transfer.dq_interval(),
+            beat_interval: transfer.beat_interval(),
+            device_mask: transfer.device_mask(width),
+            dev_bits,
+        }
+    }
+}
+
+/// Sliding maximum over small non-negative integers: a count-per-value
+/// histogram whose maximum can be evicted in amortized O(1).
+#[derive(Debug, Clone, Default)]
+pub struct RollingMax {
+    counts: Vec<u32>,
+    max: usize,
+}
+
+impl RollingMax {
+    /// An empty window (maximum 0, matching the batch default).
+    pub fn new() -> Self {
+        RollingMax::default()
+    }
+
+    /// Adds one observation of `v`.
+    pub fn insert(&mut self, v: u32) {
+        let v = v as usize;
+        if v >= self.counts.len() {
+            self.counts.resize(v + 1, 0);
+        }
+        self.counts[v] += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Removes one previously inserted observation of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `v` has no live observation.
+    pub fn remove(&mut self, v: u32) {
+        let v = v as usize;
+        debug_assert!(self.counts.get(v).copied().unwrap_or(0) > 0, "removing absent value");
+        self.counts[v] -= 1;
+        while self.max > 0 && self.counts[self.max] == 0 {
+            self.max -= 1;
+        }
+    }
+
+    /// The current maximum (0 when the window is empty).
+    pub fn max(&self) -> u32 {
+        self.max as u32
+    }
+}
+
+/// Incremental [`ErrorBitStats`] over a sliding event window: insertion and
+/// eviction are O(bits of the event); [`Self::stats`] reconstructs the exact
+/// batch aggregate, including per-device union masks, from per-bit
+/// occurrence counts.
+#[derive(Debug, Clone)]
+pub struct RollingErrorBitStats {
+    n_dev: usize,
+    events: u32,
+    dq_sum: u64,
+    beat_sum: u64,
+    complex_events: u32,
+    interval4_events: u32,
+    wide_dq_events: u32,
+    many_beat_events: u32,
+    max_dq: RollingMax,
+    max_beat: RollingMax,
+    max_bits: RollingMax,
+    max_dq_interval: RollingMax,
+    max_beat_interval: RollingMax,
+    max_devices: RollingMax,
+    /// Events touching each device (windowed union of `device_mask`).
+    dev_presence: Vec<u32>,
+    /// Per-device, per-DQ-bit live-occurrence counts.
+    dev_dq_counts: Vec<[u32; 8]>,
+    /// Per-device, per-beat live-occurrence counts.
+    dev_beat_counts: Vec<[u32; 8]>,
+}
+
+impl RollingErrorBitStats {
+    /// An empty window for the given device width.
+    pub fn new(width: mfp_dram::geometry::DataWidth) -> Self {
+        let n_dev = width.devices_per_rank() as usize;
+        RollingErrorBitStats {
+            n_dev,
+            events: 0,
+            dq_sum: 0,
+            beat_sum: 0,
+            complex_events: 0,
+            interval4_events: 0,
+            wide_dq_events: 0,
+            many_beat_events: 0,
+            max_dq: RollingMax::new(),
+            max_beat: RollingMax::new(),
+            max_bits: RollingMax::new(),
+            max_dq_interval: RollingMax::new(),
+            max_beat_interval: RollingMax::new(),
+            max_devices: RollingMax::new(),
+            dev_presence: vec![0; n_dev],
+            dev_dq_counts: vec![[0; 8]; n_dev],
+            dev_beat_counts: vec![[0; 8]; n_dev],
+        }
+    }
+
+    /// Adds one CE's profile to the window.
+    pub fn insert(&mut self, p: &CeBitProfile) {
+        self.events += 1;
+        self.dq_sum += p.dq_count as u64;
+        self.beat_sum += p.beat_count as u64;
+        self.max_dq.insert(p.dq_count);
+        self.max_beat.insert(p.beat_count);
+        self.max_bits.insert(p.bit_count);
+        if let Some(i) = p.dq_interval {
+            self.max_dq_interval.insert(i);
+        }
+        if let Some(i) = p.beat_interval {
+            self.max_beat_interval.insert(i);
+            if i == 4 {
+                self.interval4_events += 1;
+            }
+        }
+        if p.dq_count >= 2 && p.beat_count >= 2 {
+            self.complex_events += 1;
+        }
+        if p.dq_count >= 4 {
+            self.wide_dq_events += 1;
+        }
+        if p.beat_count >= 5 {
+            self.many_beat_events += 1;
+        }
+        self.max_devices.insert(p.device_mask.count_ones());
+        let mut m = p.device_mask;
+        while m != 0 {
+            let d = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.dev_presence[d] += 1;
+        }
+        for &(dev, dqm, bm) in &p.dev_bits {
+            let d = dev as usize;
+            for b in 0..8 {
+                self.dev_dq_counts[d][b] += u32::from((dqm >> b) & 1);
+                self.dev_beat_counts[d][b] += u32::from((bm >> b) & 1);
+            }
+        }
+    }
+
+    /// Evicts one previously inserted CE's profile from the window.
+    pub fn remove(&mut self, p: &CeBitProfile) {
+        debug_assert!(self.events > 0, "evicting from an empty window");
+        self.events -= 1;
+        self.dq_sum -= p.dq_count as u64;
+        self.beat_sum -= p.beat_count as u64;
+        self.max_dq.remove(p.dq_count);
+        self.max_beat.remove(p.beat_count);
+        self.max_bits.remove(p.bit_count);
+        if let Some(i) = p.dq_interval {
+            self.max_dq_interval.remove(i);
+        }
+        if let Some(i) = p.beat_interval {
+            self.max_beat_interval.remove(i);
+            if i == 4 {
+                self.interval4_events -= 1;
+            }
+        }
+        if p.dq_count >= 2 && p.beat_count >= 2 {
+            self.complex_events -= 1;
+        }
+        if p.dq_count >= 4 {
+            self.wide_dq_events -= 1;
+        }
+        if p.beat_count >= 5 {
+            self.many_beat_events -= 1;
+        }
+        self.max_devices.remove(p.device_mask.count_ones());
+        let mut m = p.device_mask;
+        while m != 0 {
+            let d = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.dev_presence[d] -= 1;
+        }
+        for &(dev, dqm, bm) in &p.dev_bits {
+            let d = dev as usize;
+            for b in 0..8 {
+                self.dev_dq_counts[d][b] -= u32::from((dqm >> b) & 1);
+                self.dev_beat_counts[d][b] -= u32::from((bm >> b) & 1);
+            }
+        }
+    }
+
+    /// The aggregate over the current window, bit-identical to
+    /// [`ErrorBitStats::from_ces`] over the same events.
+    pub fn stats(&self) -> ErrorBitStats {
+        let mut s = ErrorBitStats {
+            events: self.events,
+            max_dq_count: self.max_dq.max(),
+            max_beat_count: self.max_beat.max(),
+            max_bits: self.max_bits.max(),
+            max_dq_interval: self.max_dq_interval.max(),
+            max_beat_interval: self.max_beat_interval.max(),
+            complex_events: self.complex_events,
+            interval4_events: self.interval4_events,
+            wide_dq_events: self.wide_dq_events,
+            many_beat_events: self.many_beat_events,
+            max_devices: self.max_devices.max(),
+            ..ErrorBitStats::default()
+        };
+        if s.events > 0 {
+            s.mean_dq_count = self.dq_sum as f32 / s.events as f32;
+            s.mean_beat_count = self.beat_sum as f32 / s.events as f32;
+        }
+        s.total_devices = self.dev_presence.iter().filter(|&&c| c > 0).count() as u32;
+        for d in 0..self.n_dev {
+            let dqm = counts_to_mask(&self.dev_dq_counts[d]);
+            let bm = counts_to_mask(&self.dev_beat_counts[d]);
+            fold_device_union(&mut s, dqm, bm);
+        }
+        s
+    }
+}
+
+/// Collapses per-bit live counts back into the union bitmask.
+fn counts_to_mask(counts: &[u32; 8]) -> u8 {
+    let mut m = 0u8;
+    for (b, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            m |= 1 << b;
+        }
+    }
+    m
 }
 
 /// Distance between the lowest and highest set bit of a non-zero mask.
@@ -225,5 +502,85 @@ mod tests {
         let s = ErrorBitStats::from_ces(events.iter(), DataWidth::X4);
         assert_eq!(s.max_devices, 1);
         assert_eq!(s.total_devices, 2);
+    }
+
+    fn assorted_events() -> Vec<CeEvent> {
+        vec![
+            ce(&[(0, 0)]),
+            ce(&[(1, 20), (5, 21)]),
+            ce(&[(0, 0), (1, 1), (2, 2)]),
+            ce(&[(3, 40), (3, 41), (7, 40)]),
+            ce(&[(0, 63), (4, 67), (2, 71)]),
+            ce(&[(2, 8), (2, 9), (2, 10), (2, 11), (6, 8)]),
+        ]
+    }
+
+    #[test]
+    fn rolling_matches_batch_on_every_prefix() {
+        for width in [DataWidth::X4, DataWidth::X8] {
+            let events = assorted_events();
+            let mut rolling = RollingErrorBitStats::new(width);
+            for k in 0..=events.len() {
+                let batch = ErrorBitStats::from_ces(events[..k].iter(), width);
+                assert_eq!(rolling.stats(), batch, "prefix {k} ({width:?})");
+                if k < events.len() {
+                    rolling.insert(&CeBitProfile::of(&events[k].transfer, width));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_matches_batch_under_eviction() {
+        for width in [DataWidth::X4, DataWidth::X8] {
+            let events = assorted_events();
+            let profiles: Vec<CeBitProfile> = events
+                .iter()
+                .map(|e| CeBitProfile::of(&e.transfer, width))
+                .collect();
+            // Slide a length-3 window across the sequence.
+            let mut rolling = RollingErrorBitStats::new(width);
+            for hi in 0..events.len() {
+                rolling.insert(&profiles[hi]);
+                if hi >= 3 {
+                    rolling.remove(&profiles[hi - 3]);
+                }
+                let lo = (hi + 1).saturating_sub(3);
+                let batch = ErrorBitStats::from_ces(events[lo..=hi].iter(), width);
+                assert_eq!(rolling.stats(), batch, "window [{lo}, {hi}] ({width:?})");
+            }
+            // Draining the window returns it to the empty aggregate.
+            let lo = events.len().saturating_sub(3);
+            for p in &profiles[lo..] {
+                rolling.remove(p);
+            }
+            assert_eq!(rolling.stats(), ErrorBitStats::default());
+        }
+    }
+
+    #[test]
+    fn rolling_max_tracks_eviction() {
+        let mut m = RollingMax::new();
+        assert_eq!(m.max(), 0);
+        m.insert(3);
+        m.insert(7);
+        m.insert(3);
+        assert_eq!(m.max(), 7);
+        m.remove(7);
+        assert_eq!(m.max(), 3);
+        m.remove(3);
+        m.remove(3);
+        assert_eq!(m.max(), 0);
+    }
+
+    #[test]
+    fn profile_mirrors_transfer_statistics() {
+        let t = ErrorTransfer::from_bits([(1, 20), (5, 21)]);
+        let p = CeBitProfile::of(&t, DataWidth::X4);
+        assert_eq!(p.dq_count, 2);
+        assert_eq!(p.beat_count, 2);
+        assert_eq!(p.beat_interval, Some(4));
+        assert_eq!(p.device_mask, 1 << 5);
+        assert_eq!(p.dev_bits, vec![(5, 0b11, 0b0010_0010)]);
     }
 }

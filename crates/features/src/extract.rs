@@ -6,12 +6,41 @@
 //! and static DIMM configuration (manufacturer, width, frequency, process).
 
 use crate::errorbits::ErrorBitStats;
-use crate::fault_analysis::{classify_ces, FaultThresholds};
+use crate::fault_analysis::{classify_ces, FaultThresholds, ObservedFaults};
 use crate::history::DimmHistory;
 use crate::labeling::ProblemConfig;
 use mfp_dram::spec::{DieProcess, DimmSpec, Manufacturer};
 use mfp_dram::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// The windowed aggregates a feature vector is assembled from.
+///
+/// Both the batch path ([`extract_features`]) and the streaming path
+/// ([`FeatureStream`](crate::stream::FeatureStream)) produce this struct and
+/// hand it to the same [`assemble_features`], so any difference between the
+/// two extractors is confined to integer aggregate computation — the f32
+/// arithmetic is shared and therefore bit-identical by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FeatureInputs {
+    pub ce_15m: u32,
+    pub ce_1h: u32,
+    pub ce_6h: u32,
+    pub ce_1d: u32,
+    pub ce_obs: u32,
+    pub storms_1d: u32,
+    pub storms_obs: u32,
+    pub ce_total: u32,
+    pub first_ce: Option<SimTime>,
+    pub last_ce: Option<SimTime>,
+    pub banks: u32,
+    pub rows: u32,
+    pub cols: u32,
+    pub cells: u32,
+    pub max_cell_repeat: u32,
+    pub faults: ObservedFaults,
+    pub eb: ErrorBitStats,
+    pub eb1: ErrorBitStats,
+}
 
 /// Number of features produced per sample.
 pub const FEATURE_DIM: usize = 62;
@@ -75,44 +104,19 @@ pub fn extract_features(
     cfg: &ProblemConfig,
     thresholds: &FaultThresholds,
 ) -> Vec<f32> {
-    let mut f = Vec::with_capacity(FEATURE_DIM);
+    let inputs = batch_inputs(history, spec, t, cfg, thresholds);
+    assemble_features(&inputs, spec, t, cfg)
+}
 
-    // Temporal CE statistics.
-    let ce_15m = history.ce_count_in_window(t, SimDuration::minutes(15));
-    let ce_1h = history.ce_count_in_window(t, SimDuration::hours(1));
-    let ce_6h = history.ce_count_in_window(t, SimDuration::hours(6));
-    let ce_1d = history.ce_count_in_window(t, SimDuration::days(1));
-    let ce_5d = history.ce_count_in_window(t, cfg.observation);
-    let storms_1d = history.storm_count_in_window(t, SimDuration::days(1));
-    let storms_5d = history.storm_count_in_window(t, cfg.observation);
-    let ce_total = history.ces_in(SimTime::ZERO, t).count() as u32;
-    let obs_days = (cfg.observation.as_days_f64()).max(1.0) as f32;
-    let accel = ce_1d as f32 / (ce_5d as f32 / obs_days).max(0.2);
-    f.extend([
-        ce_15m as f32,
-        ce_1h as f32,
-        ce_6h as f32,
-        ce_1d as f32,
-        ce_5d as f32,
-        storms_1d as f32,
-        storms_5d as f32,
-        ce_total as f32,
-        accel,
-    ]);
-
-    // Recency.
-    let days_since_first = history
-        .first_ce()
-        .and_then(|fc| t.checked_duration_since(fc))
-        .map(|d| d.as_days_f64() as f32)
-        .unwrap_or(0.0);
-    let hours_since_last = history
-        .last_ce_before(t)
-        .and_then(|lc| t.checked_duration_since(lc))
-        .map(|d| d.as_hours_f64() as f32)
-        .unwrap_or(f32::from(u8::MAX));
-    f.extend([days_since_first, hours_since_last]);
-
+/// Gathers [`FeatureInputs`] by re-scanning the history at `t` — the batch
+/// oracle the streaming extractor is validated against.
+fn batch_inputs(
+    history: &DimmHistory<'_>,
+    spec: &DimmSpec,
+    t: SimTime,
+    cfg: &ProblemConfig,
+    thresholds: &FaultThresholds,
+) -> FeatureInputs {
     // Spatial dispersion over the observation window.
     let mut banks = BTreeSet::new();
     let mut rows = BTreeSet::new();
@@ -125,22 +129,85 @@ pub fn extract_features(
         cols.insert((a.rank, a.bank, a.col));
         *cells.entry((a.rank, a.bank, a.row, a.col)).or_default() += 1;
     }
-    let max_repeat = cells.values().copied().max().unwrap_or(0);
-    f.extend([
-        banks.len() as f32,
-        rows.len() as f32,
-        cols.len() as f32,
-        cells.len() as f32,
-        max_repeat as f32,
-    ]);
 
     // Fault-mode flags (over a 30-day lookback).
     let lookback = t.saturating_sub(SimDuration::days(30));
     let faults = classify_ces(history.ces_in(lookback, t), spec.width, thresholds);
-    f.extend(faults.flags().map(|b| b as u8 as f32));
+
+    FeatureInputs {
+        ce_15m: history.ce_count_in_window(t, SimDuration::minutes(15)),
+        ce_1h: history.ce_count_in_window(t, SimDuration::hours(1)),
+        ce_6h: history.ce_count_in_window(t, SimDuration::hours(6)),
+        ce_1d: history.ce_count_in_window(t, SimDuration::days(1)),
+        ce_obs: history.ce_count_in_window(t, cfg.observation),
+        storms_1d: history.storm_count_in_window(t, SimDuration::days(1)),
+        storms_obs: history.storm_count_in_window(t, cfg.observation),
+        ce_total: history.ces_in(SimTime::ZERO, t).count() as u32,
+        first_ce: history.first_ce(),
+        last_ce: history.last_ce_before(t),
+        banks: banks.len() as u32,
+        rows: rows.len() as u32,
+        cols: cols.len() as u32,
+        cells: cells.len() as u32,
+        max_cell_repeat: cells.values().copied().max().unwrap_or(0),
+        faults,
+        eb: ErrorBitStats::from_ces(history.ces_in_window(t, cfg.observation), spec.width),
+        eb1: ErrorBitStats::from_ces(history.ces_in_window(t, SimDuration::days(1)), spec.width),
+    }
+}
+
+/// Assembles the feature vector from windowed aggregates — the single place
+/// any f32 arithmetic happens, shared by batch and streaming extraction.
+pub(crate) fn assemble_features(
+    inp: &FeatureInputs,
+    spec: &DimmSpec,
+    t: SimTime,
+    cfg: &ProblemConfig,
+) -> Vec<f32> {
+    let mut f = Vec::with_capacity(FEATURE_DIM);
+
+    // Temporal CE statistics.
+    let obs_days = (cfg.observation.as_days_f64()).max(1.0) as f32;
+    let accel = inp.ce_1d as f32 / (inp.ce_obs as f32 / obs_days).max(0.2);
+    f.extend([
+        inp.ce_15m as f32,
+        inp.ce_1h as f32,
+        inp.ce_6h as f32,
+        inp.ce_1d as f32,
+        inp.ce_obs as f32,
+        inp.storms_1d as f32,
+        inp.storms_obs as f32,
+        inp.ce_total as f32,
+        accel,
+    ]);
+
+    // Recency.
+    let days_since_first = inp
+        .first_ce
+        .and_then(|fc| t.checked_duration_since(fc))
+        .map(|d| d.as_days_f64() as f32)
+        .unwrap_or(0.0);
+    let hours_since_last = inp
+        .last_ce
+        .and_then(|lc| t.checked_duration_since(lc))
+        .map(|d| d.as_hours_f64() as f32)
+        .unwrap_or(f32::from(u8::MAX));
+    f.extend([days_since_first, hours_since_last]);
+
+    // Spatial dispersion over the observation window.
+    f.extend([
+        inp.banks as f32,
+        inp.rows as f32,
+        inp.cols as f32,
+        inp.cells as f32,
+        inp.max_cell_repeat as f32,
+    ]);
+
+    // Fault-mode flags (over a 30-day lookback).
+    f.extend(inp.faults.flags().map(|b| b as u8 as f32));
 
     // Error-bit statistics over the observation window.
-    let eb = ErrorBitStats::from_ces(history.ces_in_window(t, cfg.observation), spec.width);
+    let eb = &inp.eb;
     let complex_frac = if eb.events > 0 {
         eb.complex_events as f32 / eb.events as f32
     } else {
@@ -166,10 +233,7 @@ pub fn extract_features(
     // One-day error-bit statistics and degradation trend ratios: a fault on
     // its way to a UE produces more erroneous bits per access every day,
     // while stable faults do not.
-    let eb1 = ErrorBitStats::from_ces(
-        history.ces_in_window(t, SimDuration::days(1)),
-        spec.width,
-    );
+    let eb1 = &inp.eb1;
     let mean_bits_5d = if eb.events > 0 {
         // total bits unavailable directly; approximate via dq*beat means
         eb.mean_dq_count * eb.mean_beat_count

@@ -9,10 +9,11 @@
 //! as in the paper's Fig. 4 methodology.
 
 use crate::history::DimmHistory;
+use mfp_dram::address::CellAddr;
 use mfp_dram::event::CeEvent;
 use mfp_dram::geometry::DataWidth;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Thresholds for classifying fault modes from CEs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -134,6 +135,203 @@ where
     }
 }
 
+/// Per-bank dispersion state of the rolling classifier.
+#[derive(Debug, Clone, Default)]
+struct BankDispersion {
+    rows: HashMap<u32, u32>,
+    cols: HashMap<u16, u32>,
+}
+
+/// Incremental fault-mode classification over a sliding CE window.
+///
+/// Maintains the same spatial aggregations as [`classify_ces`] as multisets
+/// with eviction, plus counters of how many keys currently satisfy each
+/// threshold, so [`Self::classify`] is O(1) and insert/evict are O(1)
+/// hash-map updates. Thresholds must be >= 1 (the defaults are).
+#[derive(Debug, Clone)]
+pub struct RollingFaultClassifier {
+    th: FaultThresholds,
+    events: u32,
+    cells: HashMap<(u8, u8, u32, u16), u32>,
+    cell_hits: u32,
+    row_cols: HashMap<(u8, u8, u32), HashMap<u16, u32>>,
+    row_hits: u32,
+    col_rows: HashMap<(u8, u8, u16), HashMap<u32, u32>>,
+    col_hits: u32,
+    banks: HashMap<(u8, u8), BankDispersion>,
+    bank_hits: u32,
+    device_events: [u32; 32],
+    devices: u32,
+}
+
+impl RollingFaultClassifier {
+    /// An empty window with the given thresholds.
+    pub fn new(th: FaultThresholds) -> Self {
+        debug_assert!(
+            th.cell_repeats >= 1
+                && th.row_distinct_cols >= 1
+                && th.col_distinct_rows >= 1
+                && th.bank_distinct >= 1,
+            "rolling classification requires thresholds >= 1"
+        );
+        RollingFaultClassifier {
+            th,
+            events: 0,
+            cells: HashMap::new(),
+            cell_hits: 0,
+            row_cols: HashMap::new(),
+            row_hits: 0,
+            col_rows: HashMap::new(),
+            col_hits: 0,
+            banks: HashMap::new(),
+            bank_hits: 0,
+            device_events: [0; 32],
+            devices: 0,
+        }
+    }
+
+    /// Adds one CE (its cell address and device bitmask) to the window.
+    pub fn insert(&mut self, addr: CellAddr, device_mask: u32) {
+        let th = self.th;
+        self.events += 1;
+
+        let c = self.cells.entry((addr.rank, addr.bank, addr.row, addr.col)).or_insert(0);
+        *c += 1;
+        if *c == th.cell_repeats {
+            self.cell_hits += 1;
+        }
+
+        let cols = self.row_cols.entry((addr.rank, addr.bank, addr.row)).or_default();
+        let before = cols.len() as u32;
+        *cols.entry(addr.col).or_insert(0) += 1;
+        if before < th.row_distinct_cols && cols.len() as u32 >= th.row_distinct_cols {
+            self.row_hits += 1;
+        }
+
+        let rows = self.col_rows.entry((addr.rank, addr.bank, addr.col)).or_default();
+        let before = rows.len() as u32;
+        *rows.entry(addr.row).or_insert(0) += 1;
+        if before < th.col_distinct_rows && rows.len() as u32 >= th.col_distinct_rows {
+            self.col_hits += 1;
+        }
+
+        let bank = self.banks.entry((addr.rank, addr.bank)).or_default();
+        let was_hit = bank_satisfies(bank, th.bank_distinct);
+        *bank.rows.entry(addr.row).or_insert(0) += 1;
+        *bank.cols.entry(addr.col).or_insert(0) += 1;
+        if !was_hit && bank_satisfies(bank, th.bank_distinct) {
+            self.bank_hits += 1;
+        }
+
+        let mut m = device_mask;
+        while m != 0 {
+            let d = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.device_events[d] += 1;
+            if self.device_events[d] == 1 {
+                self.devices += 1;
+            }
+        }
+    }
+
+    /// Evicts one previously inserted CE from the window.
+    pub fn remove(&mut self, addr: CellAddr, device_mask: u32) {
+        debug_assert!(self.events > 0, "evicting from an empty window");
+        let th = self.th;
+        self.events -= 1;
+
+        let cell_key = (addr.rank, addr.bank, addr.row, addr.col);
+        let c = self.cells.get_mut(&cell_key).expect("cell count present");
+        if *c == th.cell_repeats {
+            self.cell_hits -= 1;
+        }
+        *c -= 1;
+        if *c == 0 {
+            self.cells.remove(&cell_key);
+        }
+
+        let row_key = (addr.rank, addr.bank, addr.row);
+        let cols = self.row_cols.get_mut(&row_key).expect("row state present");
+        let before = cols.len() as u32;
+        let n = cols.get_mut(&addr.col).expect("col count present");
+        *n -= 1;
+        if *n == 0 {
+            cols.remove(&addr.col);
+        }
+        if before >= th.row_distinct_cols && (cols.len() as u32) < th.row_distinct_cols {
+            self.row_hits -= 1;
+        }
+        if cols.is_empty() {
+            self.row_cols.remove(&row_key);
+        }
+
+        let col_key = (addr.rank, addr.bank, addr.col);
+        let rows = self.col_rows.get_mut(&col_key).expect("column state present");
+        let before = rows.len() as u32;
+        let n = rows.get_mut(&addr.row).expect("row count present");
+        *n -= 1;
+        if *n == 0 {
+            rows.remove(&addr.row);
+        }
+        if before >= th.col_distinct_rows && (rows.len() as u32) < th.col_distinct_rows {
+            self.col_hits -= 1;
+        }
+        if rows.is_empty() {
+            self.col_rows.remove(&col_key);
+        }
+
+        let bank_key = (addr.rank, addr.bank);
+        let bank = self.banks.get_mut(&bank_key).expect("bank state present");
+        let was_hit = bank_satisfies(bank, th.bank_distinct);
+        let n = bank.rows.get_mut(&addr.row).expect("bank row present");
+        *n -= 1;
+        if *n == 0 {
+            bank.rows.remove(&addr.row);
+        }
+        let n = bank.cols.get_mut(&addr.col).expect("bank col present");
+        *n -= 1;
+        if *n == 0 {
+            bank.cols.remove(&addr.col);
+        }
+        if was_hit && !bank_satisfies(bank, th.bank_distinct) {
+            self.bank_hits -= 1;
+        }
+        if bank.rows.is_empty() && bank.cols.is_empty() {
+            self.banks.remove(&bank_key);
+        }
+
+        let mut m = device_mask;
+        while m != 0 {
+            let d = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.device_events[d] -= 1;
+            if self.device_events[d] == 0 {
+                self.devices -= 1;
+            }
+        }
+    }
+
+    /// The fault modes evident in the current window, identical to
+    /// [`classify_ces`] over the same events.
+    pub fn classify(&self) -> ObservedFaults {
+        if self.events == 0 {
+            return ObservedFaults::default();
+        }
+        ObservedFaults {
+            cell: self.cell_hits > 0,
+            row: self.row_hits > 0,
+            column: self.col_hits > 0,
+            bank: self.bank_hits > 0,
+            single_device: self.devices == 1,
+            multi_device: self.devices >= 2,
+        }
+    }
+}
+
+fn bank_satisfies(bank: &BankDispersion, th: u32) -> bool {
+    bank.rows.len() as u32 >= th && bank.cols.len() as u32 >= th
+}
+
 /// Classifies a DIMM's whole history up to (excluding) `before`.
 pub fn classify_history(
     history: &DimmHistory<'_>,
@@ -221,6 +419,57 @@ mod tests {
             &FaultThresholds::default(),
         );
         assert_eq!(f, ObservedFaults::default());
+    }
+
+    fn assorted_ces() -> Vec<CeEvent> {
+        vec![
+            ce_at(1, 0, 5, 5, 0),
+            ce_at(2, 0, 5, 5, 0),
+            ce_at(3, 0, 5, 7, 1),
+            ce_at(4, 2, 1, 1, 0),
+            ce_at(5, 2, 2, 2, 0),
+            ce_at(6, 2, 3, 3, 0),
+            ce_at(7, 0, 9, 5, 3),
+            ce_at(8, 2, 1, 1, 3),
+        ]
+    }
+
+    #[test]
+    fn rolling_matches_batch_on_every_prefix() {
+        let ces = assorted_ces();
+        let th = FaultThresholds::default();
+        let mut rolling = RollingFaultClassifier::new(th);
+        for k in 0..=ces.len() {
+            let batch = classify_ces(ces[..k].iter(), DataWidth::X4, &th);
+            assert_eq!(rolling.classify(), batch, "prefix {k}");
+            if k < ces.len() {
+                rolling.insert(ces[k].addr, ces[k].transfer.device_mask(DataWidth::X4));
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_matches_batch_under_eviction() {
+        let ces = assorted_ces();
+        let th = FaultThresholds::default();
+        let width = DataWidth::X4;
+        let mut rolling = RollingFaultClassifier::new(th);
+        // Slide a length-4 window across the sequence, checking each step.
+        for hi in 0..ces.len() {
+            rolling.insert(ces[hi].addr, ces[hi].transfer.device_mask(width));
+            if hi >= 4 {
+                rolling.remove(ces[hi - 4].addr, ces[hi - 4].transfer.device_mask(width));
+            }
+            let lo = (hi + 1).saturating_sub(4);
+            let batch = classify_ces(ces[lo..=hi].iter(), width, &th);
+            assert_eq!(rolling.classify(), batch, "window [{lo}, {hi}]");
+        }
+        // Draining the window recovers the empty classification.
+        let lo = ces.len().saturating_sub(4);
+        for ce in &ces[lo..] {
+            rolling.remove(ce.addr, ce.transfer.device_mask(width));
+        }
+        assert_eq!(rolling.classify(), ObservedFaults::default());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use mfp_dram::event::{CeEvent, MemEvent};
 use mfp_dram::time::{SimDuration, SimTime};
+use std::ops::Range;
 
 /// A DIMM's time-ordered event slice with binary-search window access.
 ///
@@ -103,6 +104,57 @@ impl<'a> DimmHistory<'a> {
     }
 }
 
+/// A two-pointer cursor over a time-sorted event slice, tracking the index
+/// range `[lo, hi)` of a sliding half-open time window `[from, to)`.
+///
+/// As long as successive windows are non-decreasing in both bounds (the
+/// case for a fixed-length window sliding forward in time), every event
+/// enters the range exactly once and leaves it exactly once, so a whole
+/// sweep over `n` events costs O(n) pointer moves regardless of how many
+/// windows are evaluated. [`FeatureStream`](crate::stream::FeatureStream)
+/// keys its per-window rolling state off the ranges this cursor reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowCursor {
+    lo: usize,
+    hi: usize,
+}
+
+impl WindowCursor {
+    /// A cursor with an empty range at the start of the slice.
+    pub fn new() -> Self {
+        WindowCursor::default()
+    }
+
+    /// Slides the window to `[from, to)` and reports the index ranges of
+    /// events that *entered* and *left* the window, in that order.
+    ///
+    /// Bounds must be non-decreasing across successive calls (the caller
+    /// rewinds by recreating the cursor); `from <= to` is required.
+    pub fn advance(
+        &mut self,
+        events: &[&MemEvent],
+        from: SimTime,
+        to: SimTime,
+    ) -> (Range<usize>, Range<usize>) {
+        debug_assert!(from <= to, "window bounds inverted");
+        let old_hi = self.hi;
+        while self.hi < events.len() && events[self.hi].time() < to {
+            self.hi += 1;
+        }
+        let entered = old_hi..self.hi;
+        let old_lo = self.lo;
+        while self.lo < self.hi && events[self.lo].time() < from {
+            self.lo += 1;
+        }
+        (entered, old_lo..self.lo)
+    }
+
+    /// The current `[lo, hi)` index range.
+    pub fn range(&self) -> Range<usize> {
+        self.lo..self.hi
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +237,42 @@ mod tests {
             Some(SimTime::from_secs(50))
         );
         assert_eq!(h.last_ce_before(SimTime::from_secs(10)), None);
+    }
+
+    #[test]
+    fn window_cursor_tracks_sliding_window() {
+        let events = [ce(10), ce(50), storm(60), ce(100), ue(150)];
+        let refs: Vec<&MemEvent> = events.iter().collect();
+        let h = DimmHistory::new(&refs);
+        let mut cur = WindowCursor::new();
+        for t in [5u64, 20, 55, 70, 110, 160, 300] {
+            let to = SimTime::from_secs(t);
+            let from = to.saturating_sub(SimDuration::secs(60));
+            let (entered, left) = cur.advance(&refs, from, to);
+            // Every index enters and leaves at most once, in order.
+            assert!(entered.end >= entered.start && left.end >= left.start);
+            // The range always equals the binary-search answer.
+            assert_eq!(cur.range(), h.idx_at(from)..h.idx_at(to));
+        }
+    }
+
+    #[test]
+    fn window_cursor_enter_and_leave_partition_events() {
+        let events = [ce(10), ce(50), ce(100), ce(150)];
+        let refs: Vec<&MemEvent> = events.iter().collect();
+        let mut cur = WindowCursor::new();
+        let mut entered_total = 0usize;
+        let mut left_total = 0usize;
+        for t in (0..40).map(|k| k * 10) {
+            let to = SimTime::from_secs(t);
+            let from = to.saturating_sub(SimDuration::secs(30));
+            let (entered, left) = cur.advance(&refs, from, to);
+            entered_total += entered.len();
+            left_total += left.len();
+        }
+        assert_eq!(entered_total, 4, "each event enters exactly once");
+        assert_eq!(left_total, 4, "each event leaves exactly once");
+        assert!(cur.range().is_empty());
     }
 
     #[test]

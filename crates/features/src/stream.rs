@@ -1,0 +1,475 @@
+//! Streaming feature extraction: one forward pass per DIMM instead of a
+//! rescan per evaluation time.
+//!
+//! [`extract_features`](crate::extract::extract_features) re-reads every
+//! overlapping 15m/1h/6h/1d/observation window from scratch at each
+//! evaluation time, making dataset assembly O(samples x window events).
+//! [`FeatureStream`] instead advances two-pointer [`WindowCursor`]s through
+//! the DIMM's time-sorted events exactly once, maintaining rolling state per
+//! window — CE/storm prefix counts, an incremental spatial-dispersion
+//! multiset, an incremental fault-mode classifier, and incremental
+//! error-bit accumulators with per-device union masks — so each successive
+//! evaluation time costs O(events entering or leaving windows).
+//!
+//! # Invariants
+//!
+//! * **Oracle equivalence.** For any evaluation time, [`FeatureStream::
+//!   features_at`] returns a vector bit-identical to the batch extractor:
+//!   both paths reduce to the same integer aggregates and share
+//!   [`assemble_features`](crate::extract::assemble_features) for all f32
+//!   arithmetic. `tests/prop_features.rs` asserts this on random histories.
+//! * **Monotonic queries are O(events) total.** Evaluation times should be
+//!   non-decreasing; a query earlier than its predecessor transparently
+//!   rewinds (rebuilds rolling state from the window start), which is
+//!   correct but costs a fresh pass.
+//! * **Determinism.** The stream holds no RNG and no ambient state; output
+//!   depends only on `(events, spec, cfg, thresholds, t)`. This is what
+//!   lets [`build_samples`](crate::dataset::build_samples) fan DIMMs out
+//!   across worker threads and still produce a bit-identical `SampleSet`.
+
+use crate::errorbits::{CeBitProfile, RollingErrorBitStats, RollingMax};
+use crate::extract::{assemble_features, FeatureInputs};
+use crate::fault_analysis::{FaultThresholds, RollingFaultClassifier};
+use crate::history::{DimmHistory, WindowCursor};
+use crate::labeling::ProblemConfig;
+use mfp_dram::address::CellAddr;
+use mfp_dram::spec::DimmSpec;
+use mfp_dram::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Incremental spatial-dispersion state over the observation window:
+/// multiset counts per bank / row / column / cell with eviction, plus a
+/// rolling maximum of per-cell repeat counts.
+#[derive(Debug, Clone, Default)]
+struct SpatialWindow {
+    banks: HashMap<(u8, u8), u32>,
+    rows: HashMap<(u8, u8, u32), u32>,
+    cols: HashMap<(u8, u8, u16), u32>,
+    cells: HashMap<(u8, u8, u32, u16), u32>,
+    repeat: RollingMax,
+}
+
+impl SpatialWindow {
+    fn insert(&mut self, a: CellAddr) {
+        *self.banks.entry((a.rank, a.bank)).or_insert(0) += 1;
+        *self.rows.entry((a.rank, a.bank, a.row)).or_insert(0) += 1;
+        *self.cols.entry((a.rank, a.bank, a.col)).or_insert(0) += 1;
+        let c = self.cells.entry((a.rank, a.bank, a.row, a.col)).or_insert(0);
+        if *c > 0 {
+            self.repeat.remove(*c);
+        }
+        *c += 1;
+        self.repeat.insert(*c);
+    }
+
+    fn remove(&mut self, a: CellAddr) {
+        decrement(&mut self.banks, (a.rank, a.bank));
+        decrement(&mut self.rows, (a.rank, a.bank, a.row));
+        decrement(&mut self.cols, (a.rank, a.bank, a.col));
+        let key = (a.rank, a.bank, a.row, a.col);
+        let c = self.cells.get_mut(&key).expect("cell count present");
+        self.repeat.remove(*c);
+        *c -= 1;
+        if *c == 0 {
+            self.cells.remove(&key);
+        } else {
+            self.repeat.insert(*c);
+        }
+    }
+}
+
+/// Decrements a multiset count, dropping the key at zero.
+fn decrement<K: std::hash::Hash + Eq>(map: &mut HashMap<K, u32>, key: K) {
+    let c = map.get_mut(&key).expect("multiset count present");
+    *c -= 1;
+    if *c == 0 {
+        map.remove(&key);
+    }
+}
+
+/// A streaming feature extractor for one DIMM.
+///
+/// Construct once per DIMM, then call [`Self::features_at`] at
+/// non-decreasing evaluation times. See the module docs for the invariants.
+///
+/// # Examples
+///
+/// ```
+/// use mfp_features::prelude::*;
+/// use mfp_dram::prelude::*;
+///
+/// let events = vec![MemEvent::Ce(CeEvent {
+///     time: SimTime::from_secs(100),
+///     dimm: DimmId::new(0, 0),
+///     addr: CellAddr::new(0, 0, 1, 1),
+///     transfer: ErrorTransfer::from_bits([(0, 0)]),
+/// })];
+/// let refs: Vec<&MemEvent> = events.iter().collect();
+/// let history = DimmHistory::new(&refs);
+/// let spec = DimmSpec::default();
+/// let cfg = ProblemConfig::default();
+/// let th = FaultThresholds::default();
+/// let mut stream = FeatureStream::new(history.clone(), &spec, &cfg, &th);
+/// let t = SimTime::from_secs(200);
+/// assert_eq!(
+///     stream.features_at(t),
+///     extract_features(&history, &spec, t, &cfg, &th),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeatureStream<'a> {
+    history: DimmHistory<'a>,
+    spec: &'a DimmSpec,
+    cfg: &'a ProblemConfig,
+    thresholds: &'a FaultThresholds,
+
+    // Precomputed once per DIMM, index-aligned with `history.events()`.
+    ce_prefix: Vec<u32>,
+    storm_prefix: Vec<u32>,
+    profiles: Vec<Option<CeBitProfile>>,
+    first_ce: Option<SimTime>,
+
+    // Rolling window state, advanced monotonically by `features_at`.
+    cur_15m: WindowCursor,
+    cur_1h: WindowCursor,
+    cur_6h: WindowCursor,
+    cur_1d: WindowCursor,
+    cur_obs: WindowCursor,
+    cur_fault: WindowCursor,
+    cur_total: WindowCursor,
+    last_ce_idx: Option<usize>,
+    spatial: SpatialWindow,
+    eb_obs: RollingErrorBitStats,
+    eb_1d: RollingErrorBitStats,
+    faults: RollingFaultClassifier,
+    last_t: Option<SimTime>,
+}
+
+impl<'a> FeatureStream<'a> {
+    /// Prepares the stream: one O(events) pass precomputing CE/storm prefix
+    /// counts and per-event bit profiles.
+    pub fn new(
+        history: DimmHistory<'a>,
+        spec: &'a DimmSpec,
+        cfg: &'a ProblemConfig,
+        thresholds: &'a FaultThresholds,
+    ) -> Self {
+        let events = history.events();
+        let mut ce_prefix = Vec::with_capacity(events.len() + 1);
+        let mut storm_prefix = Vec::with_capacity(events.len() + 1);
+        ce_prefix.push(0);
+        storm_prefix.push(0);
+        let mut profiles = Vec::with_capacity(events.len());
+        for e in events {
+            let ce = e.as_ce();
+            ce_prefix.push(ce_prefix.last().unwrap() + u32::from(ce.is_some()));
+            storm_prefix.push(storm_prefix.last().unwrap() + u32::from(e.as_storm().is_some()));
+            profiles.push(ce.map(|c| CeBitProfile::of(&c.transfer, spec.width)));
+        }
+        let first_ce = history.first_ce();
+        FeatureStream {
+            history,
+            spec,
+            cfg,
+            thresholds,
+            ce_prefix,
+            storm_prefix,
+            profiles,
+            first_ce,
+            cur_15m: WindowCursor::new(),
+            cur_1h: WindowCursor::new(),
+            cur_6h: WindowCursor::new(),
+            cur_1d: WindowCursor::new(),
+            cur_obs: WindowCursor::new(),
+            cur_fault: WindowCursor::new(),
+            cur_total: WindowCursor::new(),
+            last_ce_idx: None,
+            spatial: SpatialWindow::default(),
+            eb_obs: RollingErrorBitStats::new(spec.width),
+            eb_1d: RollingErrorBitStats::new(spec.width),
+            faults: RollingFaultClassifier::new(*thresholds),
+            last_t: None,
+        }
+    }
+
+    /// The wrapped history.
+    pub fn history(&self) -> &DimmHistory<'a> {
+        &self.history
+    }
+
+    /// Extracts the feature vector at evaluation time `t`, bit-identical to
+    /// the batch [`extract_features`](crate::extract::extract_features).
+    ///
+    /// Amortized O(events entering/leaving windows) when `t` is
+    /// non-decreasing across calls; an out-of-order `t` rewinds the rolling
+    /// state and replays, which is correct but not incremental.
+    pub fn features_at(&mut self, t: SimTime) -> Vec<f32> {
+        if self.last_t.is_some_and(|prev| t < prev) {
+            self.rewind();
+        }
+        self.last_t = Some(t);
+        let events = self.history.events();
+
+        // Count-only windows: prefix sums over the cursor range.
+        self.cur_15m
+            .advance(events, t.saturating_sub(SimDuration::minutes(15)), t);
+        self.cur_1h
+            .advance(events, t.saturating_sub(SimDuration::hours(1)), t);
+        self.cur_6h
+            .advance(events, t.saturating_sub(SimDuration::hours(6)), t);
+
+        // Whole-history cursor: CE total and last-CE recency.
+        let (entered, _) = self.cur_total.advance(events, SimTime::ZERO, t);
+        for i in entered {
+            if events[i].as_ce().is_some() {
+                self.last_ce_idx = Some(i);
+            }
+        }
+
+        // One-day window: CE/storm counts plus rolling error-bit state.
+        let (entered, left) = self
+            .cur_1d
+            .advance(events, t.saturating_sub(SimDuration::days(1)), t);
+        for i in entered {
+            if let Some(p) = self.profiles[i].as_ref() {
+                self.eb_1d.insert(p);
+            }
+        }
+        for i in left {
+            if let Some(p) = self.profiles[i].as_ref() {
+                self.eb_1d.remove(p);
+            }
+        }
+
+        // Observation window: spatial dispersion and error-bit state.
+        let (entered, left) =
+            self.cur_obs
+                .advance(events, t.saturating_sub(self.cfg.observation), t);
+        for i in entered {
+            if let Some(ce) = events[i].as_ce() {
+                self.spatial.insert(ce.addr);
+                self.eb_obs.insert(self.profiles[i].as_ref().expect("CE profile"));
+            }
+        }
+        for i in left {
+            if let Some(ce) = events[i].as_ce() {
+                self.spatial.remove(ce.addr);
+                self.eb_obs.remove(self.profiles[i].as_ref().expect("CE profile"));
+            }
+        }
+
+        // 30-day fault-mode lookback.
+        let (entered, left) =
+            self.cur_fault
+                .advance(events, t.saturating_sub(SimDuration::days(30)), t);
+        for i in entered {
+            if let Some(ce) = events[i].as_ce() {
+                let mask = self.profiles[i].as_ref().expect("CE profile").device_mask;
+                self.faults.insert(ce.addr, mask);
+            }
+        }
+        for i in left {
+            if let Some(ce) = events[i].as_ce() {
+                let mask = self.profiles[i].as_ref().expect("CE profile").device_mask;
+                self.faults.remove(ce.addr, mask);
+            }
+        }
+
+        let inputs = FeatureInputs {
+            ce_15m: self.ces_in(&self.cur_15m),
+            ce_1h: self.ces_in(&self.cur_1h),
+            ce_6h: self.ces_in(&self.cur_6h),
+            ce_1d: self.ces_in(&self.cur_1d),
+            ce_obs: self.ces_in(&self.cur_obs),
+            storms_1d: self.storms_in(&self.cur_1d),
+            storms_obs: self.storms_in(&self.cur_obs),
+            ce_total: self.ces_in(&self.cur_total),
+            first_ce: self.first_ce,
+            last_ce: self.last_ce_idx.map(|i| events[i].time()),
+            banks: self.spatial.banks.len() as u32,
+            rows: self.spatial.rows.len() as u32,
+            cols: self.spatial.cols.len() as u32,
+            cells: self.spatial.cells.len() as u32,
+            max_cell_repeat: self.spatial.repeat.max(),
+            faults: self.faults.classify(),
+            eb: self.eb_obs.stats(),
+            eb1: self.eb_1d.stats(),
+        };
+        assemble_features(&inputs, self.spec, t, self.cfg)
+    }
+
+    /// CEs inside a cursor's current range, via the prefix counts.
+    fn ces_in(&self, cur: &WindowCursor) -> u32 {
+        let r = cur.range();
+        self.ce_prefix[r.end] - self.ce_prefix[r.start]
+    }
+
+    /// Storm events inside a cursor's current range.
+    fn storms_in(&self, cur: &WindowCursor) -> u32 {
+        let r = cur.range();
+        self.storm_prefix[r.end] - self.storm_prefix[r.start]
+    }
+
+    /// Drops all rolling state so an out-of-order query can replay from the
+    /// start of the history. Precomputed prefixes and profiles are kept.
+    fn rewind(&mut self) {
+        self.cur_15m = WindowCursor::new();
+        self.cur_1h = WindowCursor::new();
+        self.cur_6h = WindowCursor::new();
+        self.cur_1d = WindowCursor::new();
+        self.cur_obs = WindowCursor::new();
+        self.cur_fault = WindowCursor::new();
+        self.cur_total = WindowCursor::new();
+        self.last_ce_idx = None;
+        self.spatial = SpatialWindow::default();
+        self.eb_obs = RollingErrorBitStats::new(self.spec.width);
+        self.eb_1d = RollingErrorBitStats::new(self.spec.width);
+        self.faults = RollingFaultClassifier::new(*self.thresholds);
+        self.last_t = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract_features;
+    use mfp_dram::address::DimmId;
+    use mfp_dram::bus::ErrorTransfer;
+    use mfp_dram::event::{CeEvent, CeStormEvent, MemEvent, UeEvent};
+    use mfp_dram::geometry::{DataWidth, Platform};
+    use mfp_sim::config::FleetConfig;
+    use mfp_sim::fleet::simulate_fleet;
+
+    fn ce(t: u64, bank: u8, row: u32, col: u16, bits: &[(u8, u8)]) -> MemEvent {
+        MemEvent::Ce(CeEvent {
+            time: SimTime::from_secs(t),
+            dimm: DimmId::new(0, 0),
+            addr: CellAddr::new(0, bank, row, col),
+            transfer: ErrorTransfer::from_bits(bits.iter().copied()),
+        })
+    }
+
+    fn storm(t: u64) -> MemEvent {
+        MemEvent::Storm(CeStormEvent {
+            time: SimTime::from_secs(t),
+            dimm: DimmId::new(0, 0),
+            count: 12,
+        })
+    }
+
+    fn ue(t: u64) -> MemEvent {
+        MemEvent::Ue(UeEvent {
+            time: SimTime::from_secs(t),
+            dimm: DimmId::new(0, 0),
+            addr: CellAddr::new(0, 0, 1, 1),
+            transfer: ErrorTransfer::from_bits([(0, 0), (0, 1)]),
+        })
+    }
+
+    fn mixed_history() -> Vec<MemEvent> {
+        let day = 86_400u64;
+        vec![
+            ce(100, 0, 5, 5, &[(0, 0)]),
+            ce(day, 0, 5, 5, &[(1, 20), (5, 21)]),
+            storm(day + 50),
+            ce(day + 100, 2, 1, 1, &[(0, 63), (2, 71)]),
+            ce(2 * day, 2, 2, 2, &[(2, 8), (2, 9), (2, 10), (2, 11), (6, 8)]),
+            ce(2 * day + 10, 2, 3, 3, &[(3, 40), (3, 41), (7, 40)]),
+            storm(4 * day),
+            ce(6 * day, 0, 5, 7, &[(0, 0), (1, 1), (2, 2)]),
+            ue(40 * day),
+            ce(40 * day + 100, 1, 9, 9, &[(4, 30)]),
+        ]
+    }
+
+    fn assert_stream_matches_batch(events: &[MemEvent], spec: &DimmSpec, times: &[u64]) {
+        let refs: Vec<&MemEvent> = events.iter().collect();
+        let history = DimmHistory::new(&refs);
+        let cfg = ProblemConfig::default();
+        let th = FaultThresholds::default();
+        let mut stream = FeatureStream::new(history.clone(), spec, &cfg, &th);
+        for &secs in times {
+            let t = SimTime::from_secs(secs);
+            assert_eq!(
+                stream.features_at(t),
+                extract_features(&history, spec, t, &cfg, &th),
+                "diverged at t = {secs}s"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_batch_on_mixed_history() {
+        let day = 86_400u64;
+        let times: Vec<u64> = (0..50).map(|k| 200 + k * day).collect();
+        assert_stream_matches_batch(&mixed_history(), &DimmSpec::default(), &times);
+    }
+
+    #[test]
+    fn matches_batch_at_fine_granularity() {
+        // Sub-window steps: events enter/leave the 15m/1h windows one by one.
+        let times: Vec<u64> = (0..300).map(|k| k * 600).collect();
+        assert_stream_matches_batch(&mixed_history(), &DimmSpec::default(), &times);
+    }
+
+    #[test]
+    fn matches_batch_for_x8_devices() {
+        let spec = DimmSpec {
+            width: DataWidth::X8,
+            ..Default::default()
+        };
+        let day = 86_400u64;
+        let times: Vec<u64> = (0..50).map(|k| 200 + k * day).collect();
+        assert_stream_matches_batch(&mixed_history(), &spec, &times);
+    }
+
+    #[test]
+    fn out_of_order_query_rewinds_correctly() {
+        let events = mixed_history();
+        let refs: Vec<&MemEvent> = events.iter().collect();
+        let history = DimmHistory::new(&refs);
+        let spec = DimmSpec::default();
+        let cfg = ProblemConfig::default();
+        let th = FaultThresholds::default();
+        let mut stream = FeatureStream::new(history.clone(), &spec, &cfg, &th);
+        let day = 86_400u64;
+        for secs in [10 * day, 45 * day, 3 * day, 7 * day] {
+            let t = SimTime::from_secs(secs);
+            assert_eq!(
+                stream.features_at(t),
+                extract_features(&history, &spec, t, &cfg, &th),
+                "diverged at t = {secs}s"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_batch_across_a_simulated_fleet() {
+        let fleet = simulate_fleet(&FleetConfig::smoke(11));
+        let cfg = ProblemConfig::default();
+        let th = FaultThresholds::default();
+        let by_dimm = fleet.log.by_dimm();
+        let mut dimms_checked = 0;
+        for truth in fleet.platform_dimms(Platform::IntelPurley) {
+            let Some(events) = by_dimm.get(&truth.id) else {
+                continue;
+            };
+            let history = DimmHistory::new(events);
+            let times = cfg.sample_times(&history, fleet.config.horizon);
+            if times.is_empty() {
+                continue;
+            }
+            let mut stream = FeatureStream::new(history.clone(), &truth.spec, &cfg, &th);
+            for t in times {
+                assert_eq!(
+                    stream.features_at(t),
+                    extract_features(&history, &truth.spec, t, &cfg, &th),
+                    "diverged on {:?} at {t}",
+                    truth.id
+                );
+            }
+            dimms_checked += 1;
+        }
+        assert!(dimms_checked > 0, "smoke fleet must exercise some DIMMs");
+    }
+}

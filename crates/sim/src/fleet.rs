@@ -16,7 +16,7 @@ use mfp_dram::bmc::BmcLog;
 use mfp_dram::geometry::Platform;
 use mfp_dram::spec::DimmSpec;
 use mfp_dram::time::SimTime;
-use mfp_ecc::platforms::PlatformEcc;
+use mfp_ecc::platforms::CachedPlatformEcc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -120,9 +120,12 @@ pub fn simulate_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetRe
             handles.push(s.spawn(move |_| {
                 let mut log = BmcLog::new();
                 let mut truths = Vec::with_capacity(slice.len());
-                let eccs: Vec<(Platform, PlatformEcc)> = Platform::ALL
+                // Memoized decode: fault processes replay the same transfer
+                // signatures, so most syndromes are cache hits (decoding is
+                // pure — outcomes are unchanged).
+                let eccs: Vec<(Platform, CachedPlatformEcc)> = Platform::ALL
                     .iter()
-                    .map(|&p| (p, PlatformEcc::for_platform(p)))
+                    .map(|&p| (p, CachedPlatformEcc::for_platform(p)))
                     .collect();
                 for (platform, plan, seed) in slice {
                     let ecc = &eccs

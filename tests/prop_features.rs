@@ -122,6 +122,58 @@ proptest! {
         }
     }
 
+    /// The streaming extractor is bit-identical to the batch oracle at every
+    /// point of a monotone evaluation grid, for random histories and both
+    /// device widths.
+    #[test]
+    fn streaming_matches_batch(
+        events in events_strategy(),
+        start in 0u64..2_000_000,
+        step in 1u64..200_000,
+        x8 in proptest::bool::ANY,
+    ) {
+        let spec = DimmSpec {
+            width: if x8 { DataWidth::X8 } else { DataWidth::X4 },
+            ..Default::default()
+        };
+        let cfg = ProblemConfig::default();
+        let th = FaultThresholds::default();
+        let refs: Vec<&MemEvent> = events.iter().collect();
+        let h = DimmHistory::new(&refs);
+        let mut stream = FeatureStream::new(h.clone(), &spec, &cfg, &th);
+        for k in 0..12u64 {
+            let t = SimTime::from_secs(start + k * step);
+            prop_assert_eq!(
+                stream.features_at(t),
+                extract_features(&h, &spec, t, &cfg, &th),
+                "diverged at t = {}", t
+            );
+        }
+    }
+
+    /// Out-of-order queries rewind transparently: a stream queried at an
+    /// earlier time agrees with the batch oracle there too.
+    #[test]
+    fn streaming_rewind_matches_batch(
+        events in events_strategy(),
+        t_fwd in 1_000_000u64..3_000_000,
+        t_back in 0u64..1_000_000,
+    ) {
+        let spec = DimmSpec::default();
+        let cfg = ProblemConfig::default();
+        let th = FaultThresholds::default();
+        let refs: Vec<&MemEvent> = events.iter().collect();
+        let h = DimmHistory::new(&refs);
+        let mut stream = FeatureStream::new(h.clone(), &spec, &cfg, &th);
+        for t in [SimTime::from_secs(t_fwd), SimTime::from_secs(t_back)] {
+            prop_assert_eq!(
+                stream.features_at(t),
+                extract_features(&h, &spec, t, &cfg, &th),
+                "diverged at t = {}", t
+            );
+        }
+    }
+
     /// Fault classification is monotone in evidence: adding events can only
     /// turn flags on, never off.
     #[test]
