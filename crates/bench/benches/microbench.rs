@@ -167,6 +167,35 @@ fn sample_assembly(c: &mut Criterion) {
             })
         });
     }
+
+    // Telemetry overhead budget: the instrumented assembly path must cost
+    // ≤2% over the same path with telemetry disabled (a handful of relaxed
+    // atomic ops per whole-fleet call). Compare these two series.
+    g.bench_function("build_samples_2w/telemetry_on", |b| {
+        mfp_obs::set_enabled(true);
+        b.iter(|| {
+            black_box(build_samples_with_workers(
+                &fleet,
+                Platform::IntelPurley,
+                &problem,
+                &th,
+                2,
+            ))
+        })
+    });
+    g.bench_function("build_samples_2w/telemetry_off", |b| {
+        mfp_obs::set_enabled(false);
+        b.iter(|| {
+            black_box(build_samples_with_workers(
+                &fleet,
+                Platform::IntelPurley,
+                &problem,
+                &th,
+                2,
+            ))
+        });
+        mfp_obs::set_enabled(true);
+    });
     g.finish();
 }
 

@@ -102,7 +102,26 @@ fn main() {
     // Monitoring.
     let live = store.materialize(&lake, platform, SimTime::ZERO + SimDuration::days(150), split);
     let drift = psi_report_excluding(&bench, &live, 10, &mfp_features::extract::CUMULATIVE_FEATURES);
-    check("drift report computes", drift.features.len() == bench.schema.len());
+    let excluded = mfp_features::extract::CUMULATIVE_FEATURES.len();
+    check(
+        "drift report covers the non-excluded schema",
+        drift.features.len() == bench.schema.len() - excluded,
+    );
     println!("      max PSI {:.3}", drift.max_psi());
+
+    // Process telemetry: every layer above reported into the global
+    // registry; fold the snapshot into the §VII dashboard and export it.
+    let snap = mfp_obs::global().snapshot();
+    let dashboard = Dashboard::new();
+    dashboard.import_telemetry(&snap);
+    check(
+        "telemetry dashboard sees all pipeline layers",
+        snap.counter("sim_fleet_runs") >= 1
+            && snap.counter("features_samples_assembled") > 0
+            && snap.counter("ml_train_runs") >= 1
+            && snap.counter("online_ticks") > 0,
+    );
+    println!("\n-- telemetry dashboard --\n{}", dashboard.render());
+    println!("-- telemetry snapshot (JSON) --\n{}", snap.to_json());
     println!("\nMLOps end-to-end: all stages passed.");
 }

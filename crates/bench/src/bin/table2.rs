@@ -75,4 +75,9 @@ fn main() {
         println!("  best F1 on {p}: {f1:.2}");
     }
     println!("  (paper: Purley 0.64, Whitley 0.50, K920 0.54 — Whitley weakest)");
+
+    // Where the time went: decode cache efficiency, per-algorithm train
+    // and inference latency, sample-assembly throughput.
+    println!("\n-- telemetry snapshot (JSON) --");
+    println!("{}", mfp_obs::global().snapshot().to_json());
 }

@@ -28,6 +28,7 @@ use crate::secded::Hsiao7264;
 use mfp_dram::bus::ErrorTransfer;
 use mfp_dram::geometry::{DataWidth, Platform, BURST_BEATS};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// The Purley ECC model: full SDDC on even beats, SEC-DED on odd beats
@@ -150,6 +151,11 @@ pub struct CachedPlatformEcc {
     ecc: PlatformEcc,
     cache: Mutex<HashMap<(ErrorTransfer, DataWidth), DecodeOutcome>>,
     capacity: usize,
+    // Telemetry, accumulated locally (plain atomics, no cross-instance
+    // contention) and flushed to the global registry on drop.
+    hits: AtomicU64,
+    misses: AtomicU64,
+    outcomes: [AtomicU64; 4],
 }
 
 impl CachedPlatformEcc {
@@ -173,6 +179,9 @@ impl CachedPlatformEcc {
             ecc,
             cache: Mutex::new(HashMap::with_capacity(capacity.min(Self::DEFAULT_CAPACITY))),
             capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            outcomes: [const { AtomicU64::new(0) }; 4],
         }
     }
 
@@ -195,15 +204,56 @@ impl EccScheme for CachedPlatformEcc {
     fn decode(&self, transfer: &ErrorTransfer, width: DataWidth) -> DecodeOutcome {
         let key = (*transfer, width);
         if let Some(&out) = self.cache.lock().expect("ecc cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.outcomes[outcome_slot(out)].fetch_add(1, Ordering::Relaxed);
             return out;
         }
         let out = self.ecc.decode(transfer, width);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.outcomes[outcome_slot(out)].fetch_add(1, Ordering::Relaxed);
         let mut cache = self.cache.lock().expect("ecc cache lock");
         if cache.len() >= self.capacity {
             cache.clear();
         }
         cache.insert(key, out);
         out
+    }
+}
+
+/// Index of an outcome in the per-instance telemetry array.
+fn outcome_slot(out: DecodeOutcome) -> usize {
+    match out {
+        DecodeOutcome::Clean => 0,
+        DecodeOutcome::Corrected => 1,
+        DecodeOutcome::Ue => 2,
+        DecodeOutcome::Sdc => 3,
+    }
+}
+
+const OUTCOME_NAMES: [&str; 4] = ["clean", "corrected", "ue", "sdc"];
+
+impl Drop for CachedPlatformEcc {
+    /// Flushes the instance's decode telemetry into the global registry as
+    /// `ecc_cache_hits{scheme}`, `ecc_cache_misses{scheme}` and
+    /// `ecc_decodes{scheme,outcome}`. Flushing once per instance keeps the
+    /// decode hot path free of shared-cacheline traffic between workers.
+    fn drop(&mut self) {
+        let scheme = self.ecc.name();
+        let labels: &[(&str, &str)] = &[("scheme", scheme)];
+        let hits = *self.hits.get_mut();
+        let misses = *self.misses.get_mut();
+        if hits > 0 {
+            mfp_obs::counter("ecc_cache_hits", labels).add(hits);
+        }
+        if misses > 0 {
+            mfp_obs::counter("ecc_cache_misses", labels).add(misses);
+        }
+        for (slot, name) in OUTCOME_NAMES.iter().enumerate() {
+            let n = *self.outcomes[slot].get_mut();
+            if n > 0 {
+                mfp_obs::counter("ecc_decodes", &[("scheme", scheme), ("outcome", name)]).add(n);
+            }
+        }
     }
 }
 
@@ -331,6 +381,32 @@ mod tests {
             }
             assert!(cached.cached_entries() > 0, "cache must be populated");
         }
+    }
+
+    #[test]
+    fn cache_telemetry_flushes_on_drop() {
+        // Counters are global and monotone, so concurrent tests can only
+        // push the deltas higher — the lower bounds stay valid.
+        let snap = mfp_obs::global().snapshot();
+        let (hits0, misses0, decodes0) = (
+            snap.counter("ecc_cache_hits"),
+            snap.counter("ecc_cache_misses"),
+            snap.counter("ecc_decodes"),
+        );
+        let scheme = {
+            let ecc = CachedPlatformEcc::for_platform(Platform::IntelWhitley);
+            let t = device_bits(3, &[(0, 1)]);
+            for _ in 0..3 {
+                assert_eq!(ecc.decode(&t, DataWidth::X4), DecodeOutcome::Corrected);
+            }
+            ecc.name()
+        };
+        let snap = mfp_obs::global().snapshot();
+        assert!(snap.counter("ecc_cache_hits") - hits0 >= 2);
+        assert!(snap.counter("ecc_cache_misses") - misses0 >= 1);
+        assert!(snap.counter("ecc_decodes") - decodes0 >= 3);
+        // The flush labels the series by scheme name.
+        assert!(snap.counter_labeled("ecc_cache_hits", &[("scheme", scheme)]).unwrap_or(0) >= 2);
     }
 
     #[test]

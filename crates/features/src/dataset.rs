@@ -230,10 +230,16 @@ pub fn build_samples_with_workers(
     let workers = workers.max(1);
     let chunk = dimms.len().div_ceil(workers).max(1);
     let horizon = fleet.config.horizon;
+    let assembly_span = mfp_obs::latency("features_assembly_seconds", &[]).time();
+    // Handles resolved once and cloned into the workers: recording is a
+    // relaxed atomic op, so the threads never contend on the registry.
+    let worker_seconds = mfp_obs::latency("features_worker_seconds", &[]);
     let partials = crossbeam::scope(|s| {
         let mut handles = Vec::new();
         for slice in dimms.chunks(chunk) {
+            let worker_seconds = worker_seconds.clone();
             handles.push(s.spawn(move |_| {
+                let _span = worker_seconds.time();
                 let mut part = SampleSet::new();
                 for (truth, events) in slice {
                     stream_dimm_samples(
@@ -261,6 +267,10 @@ pub fn build_samples_with_workers(
     for mut part in partials {
         set.append(&mut part);
     }
+    let p = platform.to_string();
+    mfp_obs::counter("features_samples_assembled", &[("platform", p.as_str())])
+        .add(set.len() as u64);
+    assembly_span.stop();
     set
 }
 
@@ -356,6 +366,23 @@ mod tests {
             let streamed = build_samples_with_workers(&fleet, platform, &cfg, &th, 3);
             let batch = build_samples_batch(&fleet, platform, &cfg, &th);
             assert_sets_identical(&streamed, &batch);
+        }
+    }
+
+    #[test]
+    fn telemetry_toggle_does_not_change_output() {
+        // The mfp-obs determinism invariant: metrics are write-only for
+        // the measured code, so disabling them must not perturb a single
+        // bit of the assembled set at any worker count.
+        let fleet = simulate_fleet(&FleetConfig::smoke(5));
+        let cfg = ProblemConfig::default();
+        let th = FaultThresholds::default();
+        for workers in [1, 2, 4] {
+            let on = build_samples_with_workers(&fleet, Platform::IntelPurley, &cfg, &th, workers);
+            mfp_obs::set_enabled(false);
+            let off = build_samples_with_workers(&fleet, Platform::IntelPurley, &cfg, &th, workers);
+            mfp_obs::set_enabled(true);
+            assert_sets_identical(&on, &off);
         }
     }
 

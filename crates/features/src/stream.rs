@@ -205,6 +205,9 @@ impl<'a> FeatureStream<'a> {
     /// state and replays, which is correct but not incremental.
     pub fn features_at(&mut self, t: SimTime) -> Vec<f32> {
         if self.last_t.is_some_and(|prev| t < prev) {
+            // Rare (monotone callers never rewind), so resolving the
+            // telemetry handle here keeps the hot path untouched.
+            mfp_obs::counter("features_stream_rewinds", &[]).incr();
             self.rewind();
         }
         self.last_t = Some(t);

@@ -3,6 +3,7 @@
 //! DIMM-level aggregation of sample-level scores.
 
 use mfp_dram::address::DimmId;
+use mfp_dram::time::{SimDuration, SimTime};
 use mfp_features::dataset::SampleSet;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -114,21 +115,30 @@ impl Evaluation {
     }
 }
 
-/// Picks the probability threshold maximizing F1 on `(labels, scores)`.
-///
-/// Scans the distinct score quantiles (up to 200 candidates).
-pub fn best_f1_threshold(labels: &[bool], scores: &[f32]) -> f32 {
-    assert_eq!(labels.len(), scores.len());
-    let mut sorted: Vec<f32> = scores.to_vec();
+/// Distinct finite score values, subsampled to at most `cap` quantile
+/// candidates. Non-finite scores (NaN, ±inf from a degenerate model)
+/// cannot serve as operating thresholds and are dropped; the result is
+/// empty when no finite score exists.
+fn threshold_candidates(scores: &[f32], cap: usize) -> Vec<f32> {
+    let mut sorted: Vec<f32> = scores.iter().copied().filter(|v| v.is_finite()).collect();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     sorted.dedup();
-    let candidates: Vec<f32> = if sorted.len() <= 200 {
+    if sorted.len() <= cap {
         sorted
     } else {
-        (0..200)
-            .map(|k| sorted[k * (sorted.len() - 1) / 199])
+        (0..cap)
+            .map(|k| sorted[k * (sorted.len() - 1) / (cap - 1)])
             .collect()
-    };
+    }
+}
+
+/// Picks the probability threshold maximizing F1 on `(labels, scores)`.
+///
+/// Scans the distinct finite score quantiles (up to 200 candidates);
+/// returns the conventional 0.5 when there is nothing to scan.
+pub fn best_f1_threshold(labels: &[bool], scores: &[f32]) -> f32 {
+    assert_eq!(labels.len(), scores.len());
+    let candidates = threshold_candidates(scores, 200);
     let mut best = (0.5f32, -1.0f64);
     for &th in &candidates {
         let preds: Vec<bool> = scores.iter().map(|&s| s >= th).collect();
@@ -157,27 +167,87 @@ pub fn dimm_level(set: &SampleSet, scores: &[f32], threshold: f32) -> (Vec<bool>
     per_dimm.values().copied().unzip()
 }
 
+/// The set's effective sampling cadence: the smallest positive gap between
+/// successive same-DIMM sample times. Robust to negative downsampling
+/// (which removes whole samples but leaves adjacent pairs elsewhere in any
+/// non-trivial set). Falls back to an effectively unbounded gap when no
+/// DIMM carries two samples at distinct times, which reproduces the
+/// gap-blind behaviour on sets without usable time structure.
+pub fn derive_sample_gap(set: &SampleSet) -> SimDuration {
+    let mut last: BTreeMap<DimmId, SimTime> = BTreeMap::new();
+    let mut min_gap: Option<SimDuration> = None;
+    for i in 0..set.len() {
+        let t = set.times[i];
+        if let Some(prev) = last.insert(set.dimms[i], t) {
+            if let Some(gap) = t.checked_duration_since(prev) {
+                if gap > SimDuration::ZERO && min_gap.is_none_or(|m| gap < m) {
+                    min_gap = Some(gap);
+                }
+            }
+        }
+    }
+    min_gap.unwrap_or(SimDuration::secs(u64::MAX))
+}
+
 /// DIMM-level aggregation with an alarm-voting rule: a DIMM is predicted
 /// failing only when `votes` *consecutive* samples (in time order) score at
 /// or above the threshold — the de-duplication production alarm systems
 /// apply to suppress one-off score spikes.
 ///
+/// "Consecutive" is judged against the set's own sampling cadence (see
+/// [`derive_sample_gap`]): two above-threshold samples separated by a hole
+/// in the grid — downsampled negatives, a DIMM going quiet for a while —
+/// do not accumulate into one run. Use [`dimm_level_vote_with_gap`] to
+/// supply the cadence explicitly.
+///
 /// Returns `(y_true, y_pred)` in DIMM order.
-#[allow(clippy::needless_range_loop)] // set columns and scores walked in lockstep
 pub fn dimm_level_vote(
     set: &SampleSet,
     scores: &[f32],
     threshold: f32,
     votes: usize,
 ) -> (Vec<bool>, Vec<bool>) {
+    dimm_level_vote_with_gap(set, scores, threshold, votes, derive_sample_gap(set))
+}
+
+/// [`dimm_level_vote`] with an explicit vote-run contiguity bound: a run
+/// continues only when the time step from the previous same-DIMM sample is
+/// at most `max_gap` (pass the problem's `sample_interval` when it is
+/// known).
+///
+/// Returns `(y_true, y_pred)` in DIMM order.
+#[allow(clippy::needless_range_loop)] // set columns and scores walked in lockstep
+pub fn dimm_level_vote_with_gap(
+    set: &SampleSet,
+    scores: &[f32],
+    threshold: f32,
+    votes: usize,
+    max_gap: SimDuration,
+) -> (Vec<bool>, Vec<bool>) {
     assert_eq!(set.len(), scores.len());
     let votes = votes.max(1);
     // Group sample indices per DIMM (already in time order per DIMM since
     // build_samples walks each DIMM's grid chronologically).
-    let mut per_dimm: BTreeMap<DimmId, (bool, u32, bool)> = BTreeMap::new(); // (true, run, fired)
+    // Per DIMM: (true-label, run length, fired, previous sample time).
+    let mut per_dimm: BTreeMap<DimmId, (bool, u32, bool, Option<SimTime>)> = BTreeMap::new();
     for i in 0..set.len() {
-        let e = per_dimm.entry(set.dimms[i]).or_insert((false, 0, false));
+        let e = per_dimm
+            .entry(set.dimms[i])
+            .or_insert((false, 0, false, None));
         e.0 |= set.labels[i];
+        let t = set.times[i];
+        // A hole in the sampling grid breaks the run: the votes on either
+        // side of it are not consecutive observations of the DIMM.
+        let contiguous = match e.3 {
+            Some(prev) => t
+                .checked_duration_since(prev)
+                .is_some_and(|gap| gap <= max_gap),
+            None => true,
+        };
+        e.3 = Some(t);
+        if !contiguous {
+            e.1 = 0;
+        }
         if scores[i] >= threshold {
             e.1 += 1;
             if e.1 as usize >= votes {
@@ -187,26 +257,23 @@ pub fn dimm_level_vote(
             e.1 = 0;
         }
     }
-    per_dimm.values().map(|&(t, _, p)| (t, p)).unzip()
+    per_dimm.values().map(|&(t, _, p, _)| (t, p)).unzip()
 }
 
-/// Picks the threshold maximizing DIMM-level F1 under the voting rule.
+/// Picks the threshold maximizing DIMM-level F1 under the voting rule
+/// (same gap semantics as [`dimm_level_vote`]; the cadence is derived once
+/// and reused across candidates). Returns 0.5 when no finite score exists.
 pub fn best_vote_threshold(set: &SampleSet, scores: &[f32], votes: usize) -> f32 {
     assert_eq!(set.len(), scores.len());
-    let mut sorted: Vec<f32> = scores.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    sorted.dedup();
-    let candidates: Vec<f32> = if sorted.len() <= 100 {
-        sorted
-    } else {
-        (0..100)
-            .map(|k| sorted[k * (sorted.len() - 1) / 99])
-            .collect()
-    };
+    let candidates = threshold_candidates(scores, 100);
+    if candidates.is_empty() {
+        return 0.5;
+    }
+    let max_gap = derive_sample_gap(set);
     let mut scored: Vec<(f32, f64)> = Vec::with_capacity(candidates.len());
     let mut best_f1 = -1.0f64;
     for &th in &candidates {
-        let (y_true, y_pred) = dimm_level_vote(set, scores, th, votes);
+        let (y_true, y_pred) = dimm_level_vote_with_gap(set, scores, th, votes, max_gap);
         let f1 = Confusion::from_predictions(&y_true, &y_pred).f1();
         scored.push((th, f1));
         best_f1 = best_f1.max(f1);
@@ -296,18 +363,10 @@ pub fn roc_auc(labels: &[bool], scores: &[f32]) -> f64 {
 }
 
 /// Picks the threshold maximizing *DIMM-level* F1 on a validation set.
+/// Returns the conventional 0.5 when no finite score exists.
 pub fn best_dimm_f1_threshold(set: &SampleSet, scores: &[f32]) -> f32 {
     assert_eq!(set.len(), scores.len());
-    let mut sorted: Vec<f32> = scores.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    sorted.dedup();
-    let candidates: Vec<f32> = if sorted.len() <= 100 {
-        sorted
-    } else {
-        (0..100)
-            .map(|k| sorted[k * (sorted.len() - 1) / 99])
-            .collect()
-    };
+    let candidates = threshold_candidates(scores, 100);
     let mut best = (0.5f32, -1.0f64);
     for &th in &candidates {
         let (y_true, y_pred) = dimm_level(set, scores, th);
@@ -419,6 +478,71 @@ mod tests {
         assert!((roc_auc(&labels, &flat) - 0.5).abs() < 1e-12);
         // Degenerate single-class input.
         assert_eq!(roc_auc(&[true, true], &[0.1, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn vote_runs_break_across_sampling_gaps() {
+        // Regression: two above-threshold scores adjacent in the array but
+        // a missing grid step apart in time counted as "consecutive" votes
+        // and alarmed the DIMM.
+        let day = 86_400u64;
+        let a = DimmId::new(0, 0);
+        let b = DimmId::new(1, 0);
+        let mut set = SampleSet::new();
+        set.schema = vec!["x".into()];
+        // DIMM a: days 1 and 3 (hole at day 2). DIMM b: days 1 and 2.
+        set.push(vec![0.0], true, a, SimTime::from_secs(day));
+        set.push(vec![0.0], true, a, SimTime::from_secs(3 * day));
+        set.push(vec![0.0], true, b, SimTime::from_secs(day));
+        set.push(vec![0.0], true, b, SimTime::from_secs(2 * day));
+        let scores = [0.9f32, 0.9, 0.9, 0.9];
+        assert_eq!(derive_sample_gap(&set), SimDuration::days(1));
+        let (y_true, y_pred) = dimm_level_vote(&set, &scores, 0.5, 2);
+        assert_eq!(y_true, vec![true, true]);
+        assert_eq!(y_pred, vec![false, true], "a hole must break the run");
+        // An explicitly wider contiguity bound admits the 2-day step.
+        let (_, y_pred) =
+            dimm_level_vote_with_gap(&set, &scores, 0.5, 2, SimDuration::days(2));
+        assert_eq!(y_pred, vec![true, true]);
+        // The tuned threshold uses the same gap rule: only DIMM b can
+        // satisfy votes=2, and 0.9 separates it perfectly.
+        let th = best_vote_threshold(&set, &scores, 2);
+        let (_, y_pred) = dimm_level_vote(&set, &scores, th, 2);
+        assert_eq!(y_pred, vec![false, true]);
+    }
+
+    #[test]
+    fn derive_sample_gap_falls_back_when_unknowable() {
+        let mut set = SampleSet::new();
+        set.schema = vec!["x".into()];
+        set.push(vec![0.0], true, DimmId::new(0, 0), SimTime::from_secs(5));
+        set.push(vec![0.0], false, DimmId::new(1, 0), SimTime::from_secs(9));
+        // One sample per DIMM: no cadence to derive, votes behave as before.
+        assert_eq!(derive_sample_gap(&set), SimDuration::secs(u64::MAX));
+        let (_, y_pred) = dimm_level_vote(&set, &[0.9, 0.9], 0.5, 1);
+        assert_eq!(y_pred, vec![true, true]);
+    }
+
+    #[test]
+    fn threshold_pickers_handle_empty_and_nonfinite_scores() {
+        // Regression: an empty candidate list silently produced 1.0 from
+        // the vote picker; all pickers now fall back to the conventional
+        // 0.5 and never select a non-finite operating point.
+        let empty = SampleSet::new();
+        assert_eq!(best_vote_threshold(&empty, &[], 2), 0.5);
+        assert_eq!(best_f1_threshold(&[], &[]), 0.5);
+        assert_eq!(best_dimm_f1_threshold(&empty, &[]), 0.5);
+        let mut set = SampleSet::new();
+        set.schema = vec!["x".into()];
+        set.push(vec![0.0], true, DimmId::new(0, 0), SimTime::from_secs(1));
+        set.push(vec![0.0], false, DimmId::new(1, 0), SimTime::from_secs(1));
+        let nan = [f32::NAN, f32::NAN];
+        assert_eq!(best_vote_threshold(&set, &nan, 1), 0.5);
+        assert_eq!(best_f1_threshold(&[true, false], &nan), 0.5);
+        let mixed = [f32::INFINITY, 0.8];
+        assert!(best_vote_threshold(&set, &mixed, 1).is_finite());
+        assert!(best_f1_threshold(&[true, false], &mixed).is_finite());
+        assert!(best_dimm_f1_threshold(&set, &mixed).is_finite());
     }
 
     #[test]

@@ -40,6 +40,16 @@ impl Algorithm {
             Algorithm::FtTransformer => "FT-Transformer",
         }
     }
+
+    /// Short machine-friendly identifier (telemetry labels, file names).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Algorithm::RiskyCePattern => "risky_ce",
+            Algorithm::RandomForest => "random_forest",
+            Algorithm::LightGbm => "lightgbm",
+            Algorithm::FtTransformer => "ft_transformer",
+        }
+    }
 }
 
 impl std::fmt::Display for Algorithm {
@@ -69,6 +79,25 @@ impl Model {
 
     /// Trains with an explicit seed.
     pub fn train_seeded(algorithm: Algorithm, train: &SampleSet, seed: u64) -> Model {
+        let labels: &[(&str, &str)] = &[("algo", algorithm.slug())];
+        let span = mfp_obs::latency("ml_train_seconds", labels).time();
+        let model = Self::train_seeded_inner(algorithm, train, seed);
+        span.stop();
+        mfp_obs::counter("ml_train_runs", labels).incr();
+        mfp_obs::counter("ml_train_rows", labels).add(train.len() as u64);
+        // Tree ensembles report their fitted size (early stopping can cut
+        // GBDT rounds short); the transformer runs its configured epochs.
+        let iterations = match &model {
+            Model::RiskyCe(_) => 0,
+            Model::Forest(m) => m.n_trees() as u64,
+            Model::Gbdt(m) => m.n_trees() as u64,
+            Model::Ft(_) => FtParams::default().epochs as u64,
+        };
+        mfp_obs::counter("ml_train_iterations", labels).add(iterations);
+        model
+    }
+
+    fn train_seeded_inner(algorithm: Algorithm, train: &SampleSet, seed: u64) -> Model {
         match algorithm {
             Algorithm::RiskyCePattern => Model::RiskyCe(RiskyCePattern::default()),
             Algorithm::RandomForest => Model::Forest(RandomForest::fit(
@@ -127,13 +156,18 @@ impl Model {
 
     /// Scores every sample of a set.
     pub fn predict_set(&self, set: &SampleSet) -> Vec<f32> {
-        match self {
+        let labels: &[(&str, &str)] = &[("algo", self.algorithm().slug())];
+        let span = mfp_obs::latency("ml_predict_seconds", labels).time();
+        let scores = match self {
             Model::Ft(m) => {
                 let rows: Vec<&[f32]> = (0..set.len()).map(|i| set.row(i)).collect();
                 m.predict_proba_batch(&rows)
             }
             _ => (0..set.len()).map(|i| self.predict_proba(set.row(i))).collect(),
-        }
+        };
+        span.stop();
+        mfp_obs::counter("ml_rows_scored", labels).add(scores.len() as u64);
+        scores
     }
 }
 

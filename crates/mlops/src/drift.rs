@@ -20,7 +20,10 @@ pub struct FeatureDrift {
 /// Drift report over a whole feature matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DriftReport {
-    /// Per-feature PSI, in schema order.
+    /// Per-feature PSI, in schema order **with excluded features
+    /// omitted** — when an exclusion list is in effect, `features[i]`
+    /// does not align with `schema[i]`. Every entry carries its feature
+    /// name; match by [`FeatureDrift::name`], never by index.
     pub features: Vec<FeatureDrift>,
 }
 
@@ -47,6 +50,9 @@ impl DriftReport {
 /// Computes PSI per feature between a reference (training) sample set and a
 /// live window, using `bins` quantile buckets of the reference.
 ///
+/// An empty reference has no distribution to compare against: the report
+/// comes back empty (no panic).
+///
 /// # Panics
 ///
 /// Panics when the sets' schemas differ.
@@ -58,6 +64,10 @@ pub fn psi_report(reference: &SampleSet, live: &SampleSet, bins: usize) -> Drift
 /// (see [`mfp_features::extract::CUMULATIVE_FEATURES`]) drift between any
 /// two windows by construction and would permanently trip the monitor.
 ///
+/// Excluded features are *omitted* from [`DriftReport::features`] (the
+/// report is shorter than the schema); consumers must match entries by
+/// name.
+///
 /// # Panics
 ///
 /// Panics when the sets' schemas differ.
@@ -68,6 +78,12 @@ pub fn psi_report_excluding(
     exclude: &[&str],
 ) -> DriftReport {
     assert_eq!(reference.schema, live.schema, "schema mismatch");
+    mfp_obs::counter("mlops_drift_checks", &[]).incr();
+    if reference.is_empty() {
+        // No reference distribution — quantile edges would be undefined
+        // (and `len() - 1` below would underflow).
+        return DriftReport { features: Vec::new() };
+    }
     let bins = bins.clamp(2, 50);
     let d = reference.dim();
     let mut features = Vec::with_capacity(d);
@@ -98,7 +114,9 @@ pub fn psi_report_excluding(
             psi,
         });
     }
-    DriftReport { features }
+    let report = DriftReport { features };
+    mfp_obs::gauge("mlops_drift_max_psi", &[]).set(report.max_psi());
+    report
 }
 
 /// PSI between two histograms (with epsilon smoothing).
@@ -149,6 +167,16 @@ mod tests {
         assert!(!rep.drifted(0.2));
     }
 
+    /// Looks a feature up by name — report entries are not index-aligned
+    /// with the schema once exclusions apply.
+    fn psi_of(rep: &DriftReport, name: &str) -> f64 {
+        rep.features
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("feature {name:?} missing from report"))
+            .psi
+    }
+
     #[test]
     fn shifted_feature_is_flagged() {
         let r = gaussianish_set(1, 2000, 0.0);
@@ -156,8 +184,36 @@ mod tests {
         let rep = psi_report(&r, &l, 10);
         assert!(rep.drifted(0.2));
         // Only feature "a" shifted.
-        assert!(rep.features[0].psi > 0.5, "{}", rep.features[0].psi);
-        assert!(rep.features[1].psi < 0.05, "{}", rep.features[1].psi);
+        assert!(psi_of(&rep, "a") > 0.5, "{}", psi_of(&rep, "a"));
+        assert!(psi_of(&rep, "b") < 0.05, "{}", psi_of(&rep, "b"));
+    }
+
+    #[test]
+    fn empty_reference_returns_empty_report() {
+        // Regression: the quantile-edge computation underflowed
+        // `ref_vals.len() - 1` and panicked on an empty reference.
+        let mut r = SampleSet::new();
+        r.schema = vec!["a".into(), "b".into()];
+        let l = gaussianish_set(2, 50, 0.0);
+        let mut live = SampleSet::new();
+        live.schema = r.schema.clone();
+        for rep in [psi_report(&r, &l, 10), psi_report(&r, &live, 10)] {
+            assert!(rep.features.is_empty());
+            assert_eq!(rep.max_psi(), 0.0);
+            assert!(!rep.drifted(0.2));
+        }
+    }
+
+    #[test]
+    fn excluded_features_are_omitted_and_matched_by_name() {
+        let r = gaussianish_set(1, 500, 0.0);
+        let l = gaussianish_set(2, 500, 0.8);
+        let rep = psi_report_excluding(&r, &l, 10, &["a"]);
+        // Shorter than the schema: entry 0 is now "b", not "a".
+        assert_eq!(rep.features.len(), r.schema.len() - 1);
+        assert_eq!(rep.features[0].name, "b");
+        assert!(rep.features.iter().all(|f| f.name != "a"));
+        assert!(psi_of(&rep, "b") < 0.05);
     }
 
     #[test]

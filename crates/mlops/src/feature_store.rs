@@ -105,6 +105,7 @@ impl FeatureStore {
         from: SimTime,
         to: SimTime,
     ) -> SampleSet {
+        let span = mfp_obs::latency("feature_store_materialize_seconds", &[]).time();
         let label_horizon = to + self.problem.lead + self.problem.prediction;
         let events = lake.query(platform, SimTime::ZERO, label_horizon);
         let mut by_dimm: BTreeMap<DimmId, Vec<&MemEvent>> = BTreeMap::new();
@@ -129,6 +130,12 @@ impl FeatureStore {
                 set.push(row, label, dimm, t);
             }
         }
+        // Same series the batch assembler reports, so dashboards see total
+        // samples produced regardless of which path built them.
+        let p = platform.to_string();
+        mfp_obs::counter("features_samples_assembled", &[("platform", p.as_str())])
+            .add(set.len() as u64);
+        span.stop();
         set
     }
 

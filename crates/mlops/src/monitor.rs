@@ -4,6 +4,7 @@
 
 use crate::drift::DriftReport;
 use mfp_dram::address::DimmId;
+use mfp_obs::series_name;
 use mfp_dram::time::SimTime;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -57,6 +58,29 @@ impl Dashboard {
     /// Snapshot of all metrics.
     pub fn snapshot(&self) -> BTreeMap<String, MetricValue> {
         self.metrics.read().clone()
+    }
+
+    /// Imports a process-telemetry snapshot ([`mfp_obs::Snapshot`]) into the
+    /// dashboard, so the §VII rendering covers every instrumented layer
+    /// (simulator, feature assembly, training, online serving).
+    ///
+    /// Counters are imported as counters (replacing any previous import of
+    /// the same series — `mfp-obs` counters are already cumulative), gauges
+    /// as gauges, and each histogram contributes `<name>_count` plus
+    /// `<name>_p99` entries.
+    pub fn import_telemetry(&self, snap: &mfp_obs::Snapshot) {
+        let mut m = self.metrics.write();
+        for c in &snap.counters {
+            m.insert(series_name(&c.name, &c.labels), MetricValue::Counter(c.value));
+        }
+        for g in &snap.gauges {
+            m.insert(series_name(&g.name, &g.labels), MetricValue::Gauge(g.value));
+        }
+        for h in &snap.histograms {
+            let base = series_name(&h.name, &h.labels);
+            m.insert(format!("{base}_count"), MetricValue::Counter(h.count));
+            m.insert(format!("{base}_p99"), MetricValue::Gauge(h.p99));
+        }
     }
 
     /// Renders a plain-text dashboard.
@@ -186,6 +210,38 @@ mod tests {
         let text = d.render();
         assert!(text.contains("events_ingested"));
         assert!(text.contains("0.6100"));
+    }
+
+    #[test]
+    fn telemetry_snapshot_imports_into_dashboard() {
+        // Feed process telemetry through real mfp-obs handles, then import
+        // the snapshot. Counters are global across parallel tests, so only
+        // series owned by this test get exact assertions.
+        mfp_obs::counter("monitor_import_test_total", &[("k", "v")]).add(7);
+        mfp_obs::gauge("monitor_import_test_level", &[]).set(0.25);
+        let h = mfp_obs::latency("monitor_import_test_seconds", &[]);
+        h.record(0.001);
+        let snap = mfp_obs::global().snapshot();
+        let d = Dashboard::new();
+        d.import_telemetry(&snap);
+        assert_eq!(
+            d.get("monitor_import_test_total{k=v}"),
+            Some(MetricValue::Counter(7))
+        );
+        assert_eq!(
+            d.get("monitor_import_test_level"),
+            Some(MetricValue::Gauge(0.25))
+        );
+        match d.get("monitor_import_test_seconds_count") {
+            Some(MetricValue::Counter(n)) => assert!(n >= 1),
+            other => panic!("missing histogram count: {other:?}"),
+        }
+        assert!(matches!(
+            d.get("monitor_import_test_seconds_p99"),
+            Some(MetricValue::Gauge(_))
+        ));
+        let text = d.render();
+        assert!(text.contains("monitor_import_test_total{k=v}"));
     }
 
     #[test]

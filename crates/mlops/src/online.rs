@@ -10,7 +10,7 @@ use mfp_dram::event::MemEvent;
 use mfp_dram::geometry::Platform;
 use mfp_dram::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A raised failure alarm.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,6 +45,34 @@ impl Default for OnlineConfig {
     }
 }
 
+/// Telemetry handles for the online path, resolved once per predictor.
+#[derive(Debug)]
+struct OnlineMetrics {
+    ticks: mfp_obs::Counter,
+    scores: mfp_obs::Counter,
+    alarms: mfp_obs::Counter,
+    cooldown_suppressed: mfp_obs::Counter,
+    streaks_reset: mfp_obs::Counter,
+    entries_pruned: mfp_obs::Counter,
+    tick_seconds: mfp_obs::Histogram,
+}
+
+impl OnlineMetrics {
+    fn for_platform(platform: Platform) -> Self {
+        let p = platform.to_string();
+        let labels: &[(&str, &str)] = &[("platform", p.as_str())];
+        OnlineMetrics {
+            ticks: mfp_obs::counter("online_ticks", labels),
+            scores: mfp_obs::counter("online_scores", labels),
+            alarms: mfp_obs::counter("online_alarms", labels),
+            cooldown_suppressed: mfp_obs::counter("online_cooldown_suppressed", labels),
+            streaks_reset: mfp_obs::counter("online_streaks_reset", labels),
+            entries_pruned: mfp_obs::counter("online_entries_pruned", labels),
+            tick_seconds: mfp_obs::latency("online_tick_seconds", labels),
+        }
+    }
+}
+
 /// Streaming predictor over one platform's events.
 #[derive(Debug)]
 pub struct OnlinePredictor<'a> {
@@ -58,6 +86,7 @@ pub struct OnlinePredictor<'a> {
     last_alarm: BTreeMap<DimmId, SimTime>,
     alarms: Vec<Alarm>,
     scored: u64,
+    metrics: OnlineMetrics,
 }
 
 impl<'a> OnlinePredictor<'a> {
@@ -80,6 +109,7 @@ impl<'a> OnlinePredictor<'a> {
             last_alarm: BTreeMap::new(),
             alarms: Vec::new(),
             scored: 0,
+            metrics: OnlineMetrics::for_platform(platform),
         }
     }
 
@@ -107,12 +137,33 @@ impl<'a> OnlinePredictor<'a> {
         let Some(production) = self.registry.production(self.platform) else {
             return;
         };
-        for dimm in self.store.active_dimms(now) {
+        let _span = self.metrics.tick_seconds.time();
+        self.metrics.ticks.incr();
+        let active: BTreeSet<DimmId> = self.store.active_dimms(now).into_iter().collect();
+        // A DIMM that went quiet since the last tick produced no score, so
+        // its votes are no longer consecutive — the streak must restart
+        // from zero when (if) it comes back.
+        let before = self.streaks.len();
+        self.streaks.retain(|d, _| active.contains(d));
+        self.metrics
+            .streaks_reset
+            .add((before - self.streaks.len()) as u64);
+        // Expired cooldown entries can never suppress again; dropping them
+        // keeps the map bounded by the fleet's recently-alarmed set rather
+        // than growing for the life of the process.
+        let before = self.last_alarm.len();
+        self.last_alarm
+            .retain(|_, t| now < *t + self.cfg.alarm_cooldown);
+        self.metrics
+            .entries_pruned
+            .add((before - self.last_alarm.len()) as u64);
+        for dimm in active {
             let Some(row) = self.store.serve(self.lake, dimm, now) else {
                 continue;
             };
             let score = production.model.predict_proba(&row);
             self.scored += 1;
+            self.metrics.scores.incr();
             let streak = self.streaks.entry(dimm).or_insert(0);
             if score >= production.threshold {
                 *streak += 1;
@@ -124,13 +175,16 @@ impl<'a> OnlinePredictor<'a> {
                     .last_alarm
                     .get(&dimm)
                     .is_some_and(|&t| now < t + self.cfg.alarm_cooldown);
-                if !cooling {
+                if cooling {
+                    self.metrics.cooldown_suppressed.incr();
+                } else {
                     self.alarms.push(Alarm {
                         dimm,
                         time: now,
                         score,
                     });
                     self.last_alarm.insert(dimm, now);
+                    self.metrics.alarms.incr();
                 }
             }
         }
@@ -247,6 +301,76 @@ mod tests {
         }
         p.finish(SimTime::from_secs(4 * 86_400));
         assert!(p.alarms().is_empty());
+    }
+
+    #[test]
+    fn inactivity_resets_vote_streaks() {
+        // Regression: a DIMM that dropped out of the active set kept its
+        // partial vote streak frozen, so a single above-threshold score
+        // after weeks of silence completed the "consecutive" vote and
+        // alarmed. Votes separated by inactivity are not consecutive.
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        setup(&lake, &registry);
+        // A 4-hour observation window (< the 6-hour tick interval) keeps a
+        // lone CE's DIMM active for exactly one tick.
+        let problem = ProblemConfig {
+            observation: SimDuration::hours(4),
+            ..ProblemConfig::default()
+        };
+        let store = FeatureStore::new(problem, FaultThresholds::default());
+        let mut p = OnlinePredictor::new(
+            &lake,
+            &store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        let id = DimmId::new(1, 0);
+        // One risky CE, scored by exactly one tick: streak reaches 1 of 2.
+        p.observe(&risky_ce(20_000, id, true));
+        p.finish(SimTime::from_secs(86_400));
+        assert!(p.alarms().is_empty());
+        assert!(
+            !p.streaks.contains_key(&id),
+            "streak must be dropped once the DIMM leaves the active set"
+        );
+        // Ten days later one more risky CE arrives — again exactly one
+        // scoring tick. A single vote after a long gap must not alarm.
+        p.observe(&risky_ce(884_000, id, true));
+        p.finish(SimTime::from_secs(950_000));
+        assert!(
+            p.alarms().is_empty(),
+            "votes separated by inactivity must not accumulate"
+        );
+    }
+
+    #[test]
+    fn expired_cooldown_entries_are_pruned() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        setup(&lake, &registry);
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut p = OnlinePredictor::new(
+            &lake,
+            &store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        let id = DimmId::new(1, 0);
+        for k in 0..36u64 {
+            p.observe(&risky_ce(k * 7200, id, true));
+        }
+        p.finish(SimTime::from_secs(4 * 86_400));
+        assert_eq!(p.alarms().len(), 1);
+        assert!(p.last_alarm.contains_key(&id), "cooldown entry while hot");
+        // Ticking far past the cooldown horizon drops the bookkeeping for
+        // the long-silent DIMM instead of holding it forever.
+        p.finish(SimTime::from_secs(40 * 86_400));
+        assert!(p.last_alarm.is_empty(), "expired cooldown must be pruned");
+        assert!(p.streaks.is_empty(), "inactive streaks must be pruned");
+        assert_eq!(p.alarms().len(), 1, "pruning must not re-alarm");
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! The instrument types: counters, gauges, fixed-bucket histograms and
+//! scoped span timers.
+//!
+//! Handles are cheap `Arc` clones around atomics; recording is lock-free
+//! and gated on the process-wide enable flag (one relaxed load). Floating
+//! point state (gauges, histogram sums) is stored as `f64` bit patterns in
+//! `AtomicU64`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a detached counter (registry handles come from
+    /// [`Registry::counter`](crate::registry::Registry::counter)).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Creates a detached gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if crate::enabled() {
+            self.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Ascending bucket upper bounds; an implicit `+inf` bucket follows.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Total observations.
+    count: AtomicU64,
+    /// Sum of observed values (`f64` bits).
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations (latencies in seconds,
+/// sizes, rates). Bucket bounds are fixed at creation; recording is one
+/// binary search plus two relaxed atomic updates.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Creates a detached histogram with the given ascending upper bounds
+    /// (an implicit `+inf` bucket is appended).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                counts,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: f64) {
+        if !crate::enabled() || value.is_nan() {
+            return;
+        }
+        let idx = self.core.bounds.partition_point(|&b| b < value);
+        self.core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .core
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + value).to_bits())
+            });
+    }
+
+    /// Starts a span whose duration (seconds) is recorded when the guard
+    /// drops.
+    pub fn time(&self) -> SpanTimer {
+        SpanTimer {
+            hist: self.clone(),
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Number of observations.
+    pub fn observations(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.observations();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0 <= q <= 1`): the
+    /// smallest bucket bound covering at least `q` of the observations
+    /// (`+inf` when the overflow bucket is reached; 0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.observations();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.core.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return self.core.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// `(upper_bound, count)` per bucket; the final entry is the `+inf`
+    /// overflow bucket.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.core
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let bound = self.core.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                (bound, c.load(Ordering::Relaxed))
+            })
+            .collect()
+    }
+
+    pub(crate) fn reset(&self) {
+        for c in &self.core.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.core.count.store(0, Ordering::Relaxed);
+        self.core.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Scoped timer: records the elapsed wall time (in seconds) into its
+/// histogram when dropped, or earlier via [`SpanTimer::stop`].
+///
+/// Wall time is inherently nondeterministic; that is fine because metric
+/// values never feed back into measured computation (the crate's
+/// determinism invariant).
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl SpanTimer {
+    /// Records the span now and disarms the drop hook; returns the
+    /// elapsed seconds.
+    pub fn stop(mut self) -> f64 {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        self.hist.record(elapsed);
+        self.armed = false;
+        elapsed
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Default latency buckets in seconds: 1 µs to 10 s, four per decade.
+pub fn default_latency_buckets() -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(29);
+    for decade in -6..=0i32 {
+        for mult in [1.0, 2.5, 5.0, 7.5] {
+            bounds.push(mult * 10f64.powi(decade));
+        }
+    }
+    bounds.push(10.0);
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.61);
+        g.set(0.59);
+        assert_eq!(g.get(), 0.59);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.9, 5.0, 50.0, 500.0] {
+            h.record(v);
+        }
+        assert_eq!(h.observations(), 5);
+        assert!((h.sum() - 556.4).abs() < 1e-9);
+        assert!((h.mean() - 111.28).abs() < 1e-9);
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0], (1.0, 2));
+        assert_eq!(buckets[1], (10.0, 1));
+        assert_eq!(buckets[2], (100.0, 1));
+        assert_eq!(buckets[3].1, 1);
+        assert!(buckets[3].0.is_infinite());
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_upper_bounds() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        for _ in 0..90 {
+            h.record(0.5);
+        }
+        for _ in 0..10 {
+            h.record(3.0);
+        }
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(0.9), 1.0);
+        assert_eq!(h.quantile(0.95), 4.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+        let empty = Histogram::new(&[1.0]);
+        assert_eq!(empty.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn histogram_ignores_nan_and_boundary_values_go_low() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.record(f64::NAN);
+        assert_eq!(h.observations(), 0);
+        // A value exactly on a bound lands in that bound's bucket.
+        h.record(1.0);
+        assert_eq!(h.buckets()[0].1, 1);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop_and_stop() {
+        let h = Histogram::new(&default_latency_buckets());
+        {
+            let _span = h.time();
+        }
+        assert_eq!(h.observations(), 1);
+        let elapsed = h.time().stop();
+        assert!(elapsed >= 0.0);
+        assert_eq!(h.observations(), 2);
+        assert!(h.sum() >= 0.0);
+    }
+
+    #[test]
+    fn default_latency_buckets_are_ascending() {
+        let b = default_latency_buckets();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b.first().copied(), Some(1e-6));
+        assert_eq!(b.last().copied(), Some(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unordered_bounds_are_rejected() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+}

@@ -90,6 +90,7 @@ pub fn simulate_fleet(cfg: &FleetConfig) -> FleetResult {
 
 /// Runs the fleet simulation on a fixed number of worker threads.
 pub fn simulate_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetResult {
+    let span = mfp_obs::latency("sim_fleet_seconds", &[]).time();
     let storm = StormPolicy {
         threshold: cfg.storm_threshold,
         suppression: cfg.storm_suppression,
@@ -169,11 +170,18 @@ pub fn simulate_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetRe
         dimms.extend(part_truths);
     }
     log.sort();
-    FleetResult {
+    let result = FleetResult {
         log,
         dimms,
         config: cfg.clone(),
-    }
+    };
+    // One flush per run: the workers' CachedPlatformEcc instances already
+    // pushed decode/cache counters when they dropped.
+    mfp_obs::counter("sim_fleet_runs", &[]).incr();
+    mfp_obs::counter("sim_events_generated", &[]).add(result.log.len() as u64);
+    mfp_obs::counter("sim_dimms_simulated", &[]).add(result.dimms.len() as u64);
+    span.stop();
+    result
 }
 
 #[cfg(test)]

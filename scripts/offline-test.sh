@@ -1,0 +1,343 @@
+#!/usr/bin/env bash
+# Offline test harness: builds the workspace's library crates and runs
+# their unit tests with plain `rustc`, no cargo, no network, no registry.
+#
+# Why: CI runners and air-gapped dev boxes can't always reach a crates.io
+# mirror, but the workspace's external dependencies are narrow enough to
+# shim. This script
+#   1. copies every library crate into a scratch dir, rewriting module
+#      paths so the whole workspace compiles as ONE crate
+#      (`crate::mfp_dram::...`, `crate::mfp_ml::...`, ...),
+#   2. strips serde derives (serialization is not under test here),
+#   3. substitutes minimal deterministic shims for `rand`, `crossbeam`,
+#      `parking_lot` and `bytes`,
+#   4. compiles with `rustc --test` and runs the unit tests.
+#
+# Out of scope: integration tests under tests/ (need proptest), Criterion
+# benches, doctests, and the bench binaries. The rand shim is a SplitMix64
+# stream, NOT the real StdRng, so numeric results differ from cargo builds
+# while every seed-determinism property still holds.
+#
+# Usage: scripts/offline-test.sh [test-name-filter ...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d /tmp/offline-test.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+# Library crates, with their directory under crates/.
+CRATES="obs dram ecc sim features tensor ml mlops core bench"
+
+# transform NAME < in > out: single-crate-ification of one source file.
+transform() {
+  local name="$1"
+  sed -E \
+    -e '/^use serde/d' \
+    -e 's/, Serialize, Deserialize//g' \
+    -e 's/, Serialize//g' \
+    -e 's/, Deserialize//g' \
+    -e 's/derive\(Serialize\)/derive()/g' \
+    -e 's/derive\(Deserialize\)/derive()/g' \
+    -e '/#\[serde\(/d' \
+    -e "s/crate::/crate::mfp_${name}::/g" \
+    -e 's/(^|[^:_[:alnum:]])mfp_([a-z]+)::/\1crate::mfp_\2::/g' \
+    -e 's/(^|[^:_[:alnum:]])(rand|crossbeam|parking_lot|bytes)::/\1crate::\2::/g'
+}
+
+for crate in $CRATES; do
+  src="$ROOT/crates/$crate/src"
+  dst="$WORK/mfp_$crate"
+  mkdir -p "$dst"
+  transform "$crate" < "$src/lib.rs" > "$dst/mod.rs"
+  for f in "$src"/*.rs; do
+    base="$(basename "$f")"
+    [ "$base" = "lib.rs" ] && continue
+    transform "$crate" < "$f" > "$dst/$base"
+  done
+done
+
+# ---------------------------------------------------------------- shims --
+
+cat > "$WORK/rand.rs" <<'EOF'
+//! Deterministic stand-in for the `rand` crate (offline builds only).
+//! Implements exactly the API surface this workspace uses; the stream is
+//! SplitMix64, not the real StdRng.
+
+/// Seeding entry point (`StdRng::seed_from_u64`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core generator trait.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Uniform-in-[0,1) conversion for `random::<T>()`.
+pub trait Standard {
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f32 {
+    fn from_bits(bits: u64) -> f32 {
+        ((bits >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types `random_range` can sample.
+pub trait SampleUniform: Copy {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+        }
+    )*}
+}
+impl_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by `random_range`.
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample empty range");
+        T::from_i128(lo + (rng.next_u64() as u128 % (hi - lo) as u128) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::from_i128(lo + (rng.next_u64() as u128 % (hi - lo + 1) as u128) as i128)
+    }
+}
+
+/// Convenience methods (`random`, `random_range`), blanket-implemented.
+pub trait RngExt: Rng {
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+    fn random_range<T, RR: SampleRange<T>>(&mut self, range: RR) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    /// SplitMix64-backed replacement for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+EOF
+
+cat > "$WORK/crossbeam.rs" <<'EOF'
+//! Sequential stand-in for `crossbeam::scope`: spawn runs the closure
+//! immediately on the calling thread. Determinism-preserving because the
+//! workspace only merges worker results in spawn order.
+
+pub struct Scope {
+    _private: (),
+}
+
+pub struct ScopedJoinHandle<T>(T);
+
+impl<T> ScopedJoinHandle<T> {
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        Ok(self.0)
+    }
+}
+
+impl Scope {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+    where
+        F: FnOnce(&Scope) -> T,
+    {
+        ScopedJoinHandle(f(self))
+    }
+}
+
+pub fn scope<F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: FnOnce(&Scope) -> R,
+{
+    Ok(f(&Scope { _private: () }))
+}
+EOF
+
+cat > "$WORK/parking_lot.rs" <<'EOF'
+//! `parking_lot::RwLock` stand-in over std's lock (panics on poisoning,
+//! which no test relies on).
+
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap()
+    }
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap()
+    }
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap()
+    }
+}
+EOF
+
+cat > "$WORK/bytes.rs" <<'EOF'
+//! Minimal `bytes` stand-in: big-endian put/get over Vec<u8> / &[u8],
+//! mirroring the real crate's wire behavior for the APIs used here.
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn with_capacity(n: usize) -> Self {
+        BytesMut(Vec::with_capacity(n))
+    }
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+EOF
+
+# ------------------------------------------------------------- assemble --
+
+{
+  echo '//! Generated by scripts/offline-test.sh — the whole workspace as one crate.'
+  echo '#![allow(dead_code, unused_imports)]'
+  echo 'pub mod rand;'
+  echo 'pub mod crossbeam;'
+  echo 'pub mod parking_lot;'
+  echo 'pub mod bytes;'
+  for crate in $CRATES; do
+    echo "pub mod mfp_$crate;"
+  done
+} > "$WORK/main.rs"
+
+echo "[offline-test] compiling in $WORK ..." >&2
+rustc --edition 2021 -O --test "$WORK/main.rs" -o "$WORK/harness"
+echo "[offline-test] running tests ..." >&2
+# Two tests assert statistical thresholds on datasets drawn from the real
+# StdRng stream (GBDT ring accuracy > 0.9; a signal-free candidate losing
+# an F1 gate). Under the shim's different stream they sit on the wrong
+# side of the margin; they are covered by the cargo build, so skip here.
+"$WORK/harness" \
+  --skip mfp_ml::gbdt::tests::learns_nonlinear_boundary \
+  --skip mfp_mlops::cicd::tests::regression_is_rejected \
+  "$@"

@@ -10,6 +10,23 @@ use mfp_dram::time::{SimDuration, SimTime};
 use mfp_features::prelude::*;
 use proptest::prelude::*;
 
+/// Bit-level equality between two sample sets (f32 rows compared by bits,
+/// so this is stricter than `==` and NaN-safe).
+fn assert_bit_identical(
+    a: &mfp_features::dataset::SampleSet,
+    b: &mfp_features::dataset::SampleSet,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(&a.schema, &b.schema);
+    prop_assert_eq!(&a.labels, &b.labels);
+    prop_assert_eq!(&a.dimms, &b.dimms);
+    prop_assert_eq!(&a.times, &b.times);
+    prop_assert_eq!(a.features.len(), b.features.len());
+    for (i, (x, y)) in a.features.iter().zip(&b.features).enumerate() {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "feature {} differs", i);
+    }
+    Ok(())
+}
+
 fn bits_strategy() -> impl Strategy<Value = Vec<(u8, u8)>> {
     proptest::collection::vec((0u8..8, 0u8..72), 1..20)
 }
@@ -192,6 +209,37 @@ proptest! {
         let spatial = |f: &ObservedFaults| [f.cell, f.row, f.column, f.bank];
         for (a, b) in spatial(&partial).iter().zip(spatial(&full)) {
             prop_assert!(!a || b, "spatial flags must be monotone");
+        }
+    }
+}
+
+proptest! {
+    // Whole-fleet simulation per case: keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Telemetry is observation-only: sample assembly with instrumentation
+    /// recording is bit-identical to the uninstrumented oracle (telemetry
+    /// disabled) at every worker count.
+    #[test]
+    fn instrumented_assembly_matches_uninstrumented_oracle(seed in 0u64..1_000) {
+        use mfp_dram::geometry::Platform;
+        use mfp_sim::config::FleetConfig;
+        use mfp_sim::fleet::simulate_fleet_with_workers;
+
+        let fleet = simulate_fleet_with_workers(&FleetConfig::smoke(seed), 2);
+        let cfg = ProblemConfig::default();
+        let th = FaultThresholds::default();
+
+        mfp_obs::set_enabled(false);
+        let oracle = build_samples_with_workers(
+            &fleet, Platform::IntelPurley, &cfg, &th, 1,
+        );
+        mfp_obs::set_enabled(true);
+        for workers in [1usize, 2, 4] {
+            let instrumented = build_samples_with_workers(
+                &fleet, Platform::IntelPurley, &cfg, &th, workers,
+            );
+            assert_bit_identical(&instrumented, &oracle)?;
         }
     }
 }
