@@ -1,0 +1,18 @@
+# Convenience entry points; each target works offline (no crates.io
+# access needed) via scripts/offline-test.sh when cargo can't resolve
+# the registry.
+
+.PHONY: test chaos e2e
+
+# Unit tests for every crate (merged-crate rustc harness).
+test:
+	scripts/offline-test.sh
+
+# Hostile-telemetry smoke: chaos_e2e at three corruption rates with an
+# alarm-recall floor and a lossless bit-identity gate.
+chaos:
+	scripts/chaos-smoke.sh
+
+# Happy-path MLOps end-to-end.
+e2e:
+	scripts/offline-test.sh --bin mlops_e2e

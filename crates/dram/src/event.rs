@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A correctable error: the ECC detected and repaired the data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CeEvent {
     /// When the error was observed.
     pub time: SimTime,
@@ -31,7 +31,7 @@ pub struct CeEvent {
 /// Whether a UE was *sudden* (no prior CEs on the DIMM) or *predictable*
 /// (preceded by CEs) is not a property of the event itself — the analysis
 /// layer derives it from the DIMM's history.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct UeEvent {
     /// When the error was observed.
     pub time: SimTime,
@@ -45,7 +45,7 @@ pub struct UeEvent {
 
 /// A CE storm: the BMC observed a high frequency of CE interrupts in a short
 /// window (e.g. 10 or more within a minute) and suppressed further logging.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CeStormEvent {
     /// When the storm threshold was crossed.
     pub time: SimTime,
@@ -56,7 +56,7 @@ pub struct CeStormEvent {
 }
 
 /// Any memory event in a BMC log, ordered by time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MemEvent {
     /// Correctable error.
     Ce(CeEvent),
@@ -112,6 +112,18 @@ impl MemEvent {
     /// True for [`MemEvent::Ue`].
     pub fn is_ue(&self) -> bool {
         matches!(self, MemEvent::Ue(_))
+    }
+
+    /// The same event re-stamped at `t` (used by clock-skew modelling and
+    /// replay tooling; every other field is preserved).
+    pub fn with_time(&self, t: SimTime) -> MemEvent {
+        let mut e = *self;
+        match &mut e {
+            MemEvent::Ce(ce) => ce.time = t,
+            MemEvent::Ue(ue) => ue.time = t,
+            MemEvent::Storm(s) => s.time = t,
+        }
+        e
     }
 }
 

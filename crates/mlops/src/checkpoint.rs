@@ -1,0 +1,518 @@
+//! Checkpoint/restore for the online prediction path.
+//!
+//! A process crash must not change what the fleet is told: restoring a
+//! checkpoint and replaying the remaining events has to produce the
+//! *bit-identical* alarm sequence an uninterrupted run would have raised.
+//! [`OnlineCheckpoint`] therefore captures every piece of state the
+//! [`OnlinePredictor`](crate::online::OnlinePredictor) folds over — tick
+//! cursor, watermark, vote streaks, cooldown entries, raised alarms,
+//! degraded-mode feature cache — plus the
+//! [`FeatureStore`](crate::feature_store::FeatureStore)'s per-DIMM rolling
+//! event windows, which are the predictor's only other mutable input.
+//!
+//! Serialization is a hand-rolled binary format in the style of
+//! `mfp_dram::bmc` (magic + version + length-prefixed sections, big
+//! endian, `f32` as raw bits); per-DIMM event windows are embedded as
+//! encoded `BmcLog` payloads so the wire format is shared with the
+//! collectors'. No serde, no floating-point text round-trips, nothing
+//! that could perturb a bit.
+
+use crate::feature_store::FeatureStore;
+use crate::lake::DataLake;
+use crate::online::{Alarm, OnlineConfig, OnlinePredictor};
+use crate::registry::ModelRegistry;
+use bytes::{BufMut, Bytes, BytesMut};
+use mfp_dram::address::DimmId;
+use mfp_dram::bmc::{BmcLog, DecodeError};
+use mfp_dram::event::MemEvent;
+use mfp_dram::geometry::Platform;
+use mfp_dram::time::{SimDuration, SimTime};
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes at the head of an encoded checkpoint.
+const MAGIC: [u8; 4] = *b"MFC1";
+/// Checkpoint wire-format version.
+const VERSION: u8 = 1;
+
+/// A point-in-time snapshot of the online prediction state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineCheckpoint {
+    /// Platform the predictor serves.
+    pub platform: Platform,
+    /// Predictor configuration at capture time.
+    pub cfg: OnlineConfig,
+    /// Next prediction tick due.
+    pub next_tick: SimTime,
+    /// Last executed tick (the stale-event watermark).
+    pub watermark: SimTime,
+    /// Model invocations so far.
+    pub scored: u64,
+    /// Stale events rejected so far.
+    pub stale_rejected: u64,
+    /// Per-DIMM consecutive-vote streaks.
+    pub streaks: Vec<(DimmId, u32)>,
+    /// Per-DIMM cooldown entries.
+    pub last_alarm: Vec<(DimmId, SimTime)>,
+    /// Alarms raised so far.
+    pub alarms: Vec<Alarm>,
+    /// Degraded-mode cache: last successfully served row per DIMM.
+    pub last_good: Vec<(DimmId, SimTime, Vec<f32>)>,
+    /// The feature store's per-DIMM rolling event windows.
+    pub streams: Vec<(DimmId, Vec<MemEvent>)>,
+}
+
+impl OnlineCheckpoint {
+    /// Captures the predictor's folded state plus the feature store's
+    /// rolling windows (the store must be the one the predictor serves
+    /// from).
+    pub fn capture(predictor: &OnlinePredictor<'_>, store: &FeatureStore) -> Self {
+        mfp_obs::counter("checkpoint_captures", &[]).incr();
+        OnlineCheckpoint {
+            platform: predictor.platform,
+            cfg: predictor.cfg,
+            next_tick: predictor.next_tick,
+            watermark: predictor.watermark,
+            scored: predictor.scored,
+            stale_rejected: predictor.stale_rejected,
+            streaks: predictor.streaks.iter().map(|(d, s)| (*d, *s)).collect(),
+            last_alarm: predictor.last_alarm.iter().map(|(d, t)| (*d, *t)).collect(),
+            alarms: predictor.alarms.clone(),
+            last_good: predictor
+                .last_good
+                .iter()
+                .map(|(d, (t, row))| (*d, *t, row.clone()))
+                .collect(),
+            streams: store.export_streams(),
+        }
+    }
+
+    /// Rebuilds a predictor (and refills `store`) from this checkpoint.
+    /// Replaying the post-checkpoint event suffix through the result
+    /// yields the alarm sequence of an uninterrupted run, bit for bit.
+    pub fn restore<'a>(
+        &self,
+        lake: &'a DataLake,
+        store: &'a FeatureStore,
+        registry: &'a ModelRegistry,
+    ) -> OnlinePredictor<'a> {
+        mfp_obs::counter("checkpoint_restores", &[]).incr();
+        store.import_streams(self.streams.clone());
+        let mut p = OnlinePredictor::new(lake, store, registry, self.platform, self.cfg);
+        p.next_tick = self.next_tick;
+        p.watermark = self.watermark;
+        p.scored = self.scored;
+        p.stale_rejected = self.stale_rejected;
+        p.streaks = self.streaks.iter().copied().collect();
+        p.last_alarm = self.last_alarm.iter().copied().collect();
+        p.alarms = self.alarms.clone();
+        p.last_good = self
+            .last_good
+            .iter()
+            .map(|(d, t, row)| (*d, (*t, row.clone())))
+            .collect();
+        p
+    }
+
+    /// Serializes the checkpoint into its binary format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(256 + self.streams.len() * 64);
+        buf.put_slice(&MAGIC);
+        buf.put_u8(VERSION);
+        let platform = Platform::ALL
+            .iter()
+            .position(|p| *p == self.platform)
+            .unwrap_or(0) as u8;
+        buf.put_u8(platform);
+        buf.put_u64(self.cfg.prediction_interval.as_secs());
+        buf.put_u64(self.cfg.votes as u64);
+        buf.put_u64(self.cfg.alarm_cooldown.as_secs());
+        buf.put_u64(self.cfg.degraded_grace.as_secs());
+        buf.put_u64(self.next_tick.as_secs());
+        buf.put_u64(self.watermark.as_secs());
+        buf.put_u64(self.scored);
+        buf.put_u64(self.stale_rejected);
+        buf.put_u64(self.streaks.len() as u64);
+        for (d, s) in &self.streaks {
+            put_dimm(&mut buf, *d);
+            buf.put_u32(*s);
+        }
+        buf.put_u64(self.last_alarm.len() as u64);
+        for (d, t) in &self.last_alarm {
+            put_dimm(&mut buf, *d);
+            buf.put_u64(t.as_secs());
+        }
+        buf.put_u64(self.alarms.len() as u64);
+        for a in &self.alarms {
+            put_dimm(&mut buf, a.dimm);
+            buf.put_u64(a.time.as_secs());
+            buf.put_u32(a.score.to_bits());
+        }
+        buf.put_u64(self.last_good.len() as u64);
+        for (d, t, row) in &self.last_good {
+            put_dimm(&mut buf, *d);
+            buf.put_u64(t.as_secs());
+            buf.put_u64(row.len() as u64);
+            for v in row {
+                buf.put_u32(v.to_bits());
+            }
+        }
+        buf.put_u64(self.streams.len() as u64);
+        for (d, events) in &self.streams {
+            put_dimm(&mut buf, *d);
+            // Embedded collector wire format; BmcLog's stable sort keeps
+            // the already-ordered window byte-identical through the trip.
+            let log: BmcLog = events.iter().copied().collect();
+            let payload = log.encode();
+            buf.put_u64(payload.len() as u64);
+            buf.put_slice(&payload);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on truncation, bad magic/version, an
+    /// unknown platform index, or a malformed embedded event log.
+    pub fn decode(data: &[u8]) -> Result<OnlineCheckpoint, CheckpointError> {
+        let mut c = Cursor { data };
+        let magic = c.bytes(4)?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = c.u8()?;
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let pidx = c.u8()?;
+        let platform = *Platform::ALL
+            .get(pidx as usize)
+            .ok_or(CheckpointError::BadPlatform(pidx))?;
+        let cfg = OnlineConfig {
+            prediction_interval: SimDuration::secs(c.u64()?),
+            votes: c.u64()? as usize,
+            alarm_cooldown: SimDuration::secs(c.u64()?),
+            degraded_grace: SimDuration::secs(c.u64()?),
+        };
+        let next_tick = SimTime::from_secs(c.u64()?);
+        let watermark = SimTime::from_secs(c.u64()?);
+        let scored = c.u64()?;
+        let stale_rejected = c.u64()?;
+        let n = c.len()?;
+        let mut streaks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let d = c.dimm()?;
+            streaks.push((d, c.u32()?));
+        }
+        let n = c.len()?;
+        let mut last_alarm = Vec::with_capacity(n);
+        for _ in 0..n {
+            let d = c.dimm()?;
+            last_alarm.push((d, SimTime::from_secs(c.u64()?)));
+        }
+        let n = c.len()?;
+        let mut alarms = Vec::with_capacity(n);
+        for _ in 0..n {
+            let dimm = c.dimm()?;
+            let time = SimTime::from_secs(c.u64()?);
+            let score = f32::from_bits(c.u32()?);
+            alarms.push(Alarm { dimm, time, score });
+        }
+        let n = c.len()?;
+        let mut last_good = Vec::with_capacity(n);
+        for _ in 0..n {
+            let d = c.dimm()?;
+            let t = SimTime::from_secs(c.u64()?);
+            let rl = c.len()?;
+            let mut row = Vec::with_capacity(rl);
+            for _ in 0..rl {
+                row.push(f32::from_bits(c.u32()?));
+            }
+            last_good.push((d, t, row));
+        }
+        let n = c.len()?;
+        let mut streams = Vec::with_capacity(n);
+        for _ in 0..n {
+            let d = c.dimm()?;
+            let plen = c.len()?;
+            let payload = c.bytes(plen)?;
+            let log = BmcLog::decode(payload).map_err(CheckpointError::BadLog)?;
+            streams.push((d, log.events().to_vec()));
+        }
+        Ok(OnlineCheckpoint {
+            platform,
+            cfg,
+            next_tick,
+            watermark,
+            scored,
+            stale_rejected,
+            streaks,
+            last_alarm,
+            alarms,
+            last_good,
+            streams,
+        })
+    }
+}
+
+fn put_dimm(buf: &mut BytesMut, d: DimmId) {
+    buf.put_u32(d.server.0);
+    buf.put_u8(d.slot);
+}
+
+/// Bounds-checked big-endian reader over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.data.len() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// A u64 length field, sanity-bounded by the remaining payload so a
+    /// corrupted count cannot trigger a huge allocation.
+    fn len(&mut self) -> Result<usize, CheckpointError> {
+        let n = self.u64()?;
+        if n > self.data.len() as u64 {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(n as usize)
+    }
+
+    fn dimm(&mut self) -> Result<DimmId, CheckpointError> {
+        let server = self.u32()?;
+        let slot = self.u8()?;
+        Ok(DimmId::new(server, slot))
+    }
+}
+
+/// Failure decoding a checkpoint payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Input ended before a complete record.
+    Truncated,
+    /// Leading magic bytes did not match.
+    BadMagic,
+    /// Unsupported checkpoint version.
+    BadVersion(u8),
+    /// Platform index outside `Platform::ALL`.
+    BadPlatform(u8),
+    /// An embedded event log failed to decode.
+    BadLog(DecodeError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadMagic => write!(f, "bad checkpoint magic"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::BadPlatform(p) => write!(f, "unknown platform index {p}"),
+            CheckpointError::BadLog(e) => write!(f, "embedded event log: {e}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature_store::FeatureStore;
+    use mfp_dram::address::CellAddr;
+    use mfp_dram::bus::ErrorTransfer;
+    use mfp_dram::event::CeEvent;
+    use mfp_dram::spec::DimmSpec;
+    use mfp_features::fault_analysis::FaultThresholds;
+    use mfp_features::labeling::ProblemConfig;
+    use mfp_ml::metrics::{Confusion, Evaluation};
+    use mfp_ml::model::{Algorithm, Model};
+    use mfp_ml::risky_ce::RiskyCePattern;
+
+    fn risky_ce(t: u64, dimm: DimmId) -> MemEvent {
+        MemEvent::Ce(CeEvent {
+            time: SimTime::from_secs(t),
+            dimm,
+            addr: CellAddr::new(0, 0, (t / 1000) as u32 % 100, 1),
+            transfer: ErrorTransfer::from_bits([(1, 20), (5, 21)]),
+        })
+    }
+
+    fn setup(lake: &DataLake, registry: &ModelRegistry, dimms: &[DimmId]) {
+        for &id in dimms {
+            lake.register_dimm(id, Platform::IntelPurley, DimmSpec::default());
+        }
+        let eval = Evaluation::from_confusion(
+            Confusion {
+                tp: 1,
+                fp: 0,
+                fn_: 0,
+                tn: 1,
+            },
+            0.5,
+        );
+        let mid = registry.register(
+            Algorithm::RiskyCePattern,
+            Platform::IntelPurley,
+            SimTime::ZERO,
+            eval,
+            0.5,
+            Model::RiskyCe(RiskyCePattern::default()),
+        );
+        registry.promote(mid);
+    }
+
+    fn store() -> FeatureStore {
+        FeatureStore::new(ProblemConfig::default(), FaultThresholds::default())
+    }
+
+    /// A stream mixing two DIMMs, gaps and bursts across several days.
+    fn stream(dimms: &[DimmId]) -> Vec<MemEvent> {
+        (0..48u64)
+            .map(|k| risky_ce(5_000 + k * 5_400, dimms[(k % dimms.len() as u64) as usize]))
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_exact() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = [DimmId::new(1, 0), DimmId::new(2, 1)];
+        setup(&lake, &registry, &dimms);
+        let s = store();
+        let mut p = OnlinePredictor::new(
+            &lake,
+            &s,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig {
+                degraded_grace: SimDuration::days(1),
+                ..OnlineConfig::default()
+            },
+        );
+        for e in stream(&dimms) {
+            p.observe(&e);
+        }
+        p.finish(SimTime::from_secs(4 * 86_400));
+        let cp = OnlineCheckpoint::capture(&p, &s);
+        assert!(!cp.streams.is_empty());
+        let bytes = cp.encode();
+        let back = OnlineCheckpoint::decode(&bytes).unwrap();
+        assert_eq!(back, cp, "checkpoint must round-trip bit-exactly");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            OnlineCheckpoint::decode(b"xx"),
+            Err(CheckpointError::Truncated)
+        );
+        assert_eq!(
+            OnlineCheckpoint::decode(b"XXXX\x01\x00"),
+            Err(CheckpointError::BadMagic)
+        );
+        assert_eq!(
+            OnlineCheckpoint::decode(b"MFC1\x09\x00"),
+            Err(CheckpointError::BadVersion(9))
+        );
+        assert_eq!(
+            OnlineCheckpoint::decode(b"MFC1\x01\x77"),
+            Err(CheckpointError::BadPlatform(0x77))
+        );
+        // Corrupted length field: bounded, not a huge allocation.
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let s = store();
+        let p = OnlinePredictor::new(
+            &lake,
+            &s,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        let bytes = OnlineCheckpoint::capture(&p, &s).encode();
+        let cut = &bytes[..bytes.len() - 4];
+        assert_eq!(
+            OnlineCheckpoint::decode(cut),
+            Err(CheckpointError::Truncated)
+        );
+    }
+
+    #[test]
+    fn crash_at_any_event_restores_identical_alarms() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = [DimmId::new(1, 0), DimmId::new(2, 1)];
+        setup(&lake, &registry, &dimms);
+        let events = stream(&dimms);
+        let end = SimTime::from_secs(6 * 86_400);
+        let cfg = OnlineConfig {
+            degraded_grace: SimDuration::hours(18),
+            ..OnlineConfig::default()
+        };
+
+        // Uninterrupted reference run.
+        let ref_store = store();
+        let mut reference =
+            OnlinePredictor::new(&lake, &ref_store, &registry, Platform::IntelPurley, cfg);
+        for e in &events {
+            reference.observe(e);
+        }
+        reference.finish(end);
+        assert!(
+            !reference.alarms().is_empty(),
+            "the stream must alarm or the test proves nothing"
+        );
+
+        // Crash after every prefix length, restore through the wire
+        // format, replay the suffix: alarms must match bit for bit.
+        for cut in 0..=events.len() {
+            let s1 = store();
+            let mut first =
+                OnlinePredictor::new(&lake, &s1, &registry, Platform::IntelPurley, cfg);
+            for e in &events[..cut] {
+                first.observe(e);
+            }
+            let wire = OnlineCheckpoint::capture(&first, &s1).encode();
+            drop(first);
+
+            let cp = OnlineCheckpoint::decode(&wire).unwrap();
+            let s2 = store();
+            let mut resumed = cp.restore(&lake, &s2, &registry);
+            for e in &events[cut..] {
+                resumed.observe(e);
+            }
+            resumed.finish(end);
+            assert_eq!(
+                resumed.alarms(),
+                reference.alarms(),
+                "crash at event {cut} must not change the alarm sequence"
+            );
+            assert_eq!(resumed.scored(), reference.scored());
+        }
+    }
+}

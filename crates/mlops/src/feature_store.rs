@@ -140,13 +140,54 @@ impl FeatureStore {
     }
 
     /// **Stream transformation**: folds one event into the online state.
+    ///
+    /// The stream stays time-ordered even when events arrive slightly out
+    /// of order (a bounded-lateness ingestor may legally release equal or
+    /// near-equal timestamps in arrival order): late events are inserted
+    /// at their timestamp position. Events older than the retention
+    /// cutoff are dropped outright — never spliced into a window that has
+    /// already been evicted around them.
     pub fn stream_ingest(&self, event: &MemEvent) {
         let mut streams = self.streams.write();
         let s = streams.entry(event.dimm()).or_default();
-        s.events.push(*event);
+        let t = event.time();
+        let latest = s.events.last().map_or(t, |e| e.time().max(t));
+        let cutoff = latest.saturating_sub(self.retention);
+        if t < cutoff {
+            mfp_obs::counter("feature_store_stale_dropped", &[]).incr();
+            return;
+        }
+        if s.events.last().is_some_and(|e| t < e.time()) {
+            // Out-of-order arrival: sorted insert, after equal timestamps.
+            let pos = s.events.partition_point(|e| e.time() <= t);
+            s.events.insert(pos, *event);
+            mfp_obs::counter("feature_store_out_of_order", &[]).incr();
+        } else {
+            s.events.push(*event);
+        }
         // Evict events older than the retention window.
-        let cutoff = event.time().saturating_sub(self.retention);
         s.events.retain(|e| e.time() >= cutoff);
+    }
+
+    /// Exports every per-DIMM stream (checkpoint support): the complete
+    /// online rolling state, time-ordered within each DIMM.
+    pub fn export_streams(&self) -> Vec<(DimmId, Vec<MemEvent>)> {
+        self.streams
+            .read()
+            .iter()
+            .map(|(id, s)| (*id, s.events.clone()))
+            .collect()
+    }
+
+    /// Replaces the per-DIMM streams with previously exported state
+    /// (checkpoint restore). Streams are installed verbatim — restoring
+    /// an export into a fresh store reproduces serving bit-for-bit.
+    pub fn import_streams(&self, streams: Vec<(DimmId, Vec<MemEvent>)>) {
+        let mut map = self.streams.write();
+        map.clear();
+        for (id, events) in streams {
+            map.insert(id, DimmStream { events });
+        }
     }
 
     /// **Serving**: the current feature row of a DIMM at time `now`, or
@@ -277,6 +318,48 @@ mod tests {
         s.stream_ingest(&ce(40 * 86_400, id)); // 40 days later
         let streams = s.streams.read();
         assert_eq!(streams[&id].events.len(), 1, "old event must be evicted");
+    }
+
+    #[test]
+    fn out_of_order_ingest_keeps_streams_sorted() {
+        let s = store();
+        let id = DimmId::new(1, 0);
+        s.stream_ingest(&ce(1_000, id));
+        s.stream_ingest(&ce(3_000, id));
+        s.stream_ingest(&ce(2_000, id)); // late arrival within retention
+        let streams = s.streams.read();
+        let times: Vec<u64> = streams[&id].events.iter().map(|e| e.time().as_secs()).collect();
+        assert_eq!(times, vec![1_000, 2_000, 3_000]);
+    }
+
+    #[test]
+    fn pre_retention_stragglers_are_dropped() {
+        let s = store();
+        let id = DimmId::new(1, 0);
+        s.stream_ingest(&ce(40 * 86_400, id));
+        // A straggler from before the retention cutoff must not resurrect
+        // evicted history.
+        s.stream_ingest(&ce(100, id));
+        let streams = s.streams.read();
+        assert_eq!(streams[&id].events.len(), 1);
+        assert_eq!(streams[&id].events[0].time().as_days(), 40);
+    }
+
+    #[test]
+    fn export_import_roundtrips_serving() {
+        let lake = DataLake::new();
+        let id = DimmId::new(5, 0);
+        lake.register_dimm(id, Platform::IntelPurley, DimmSpec::default());
+        let s = store();
+        for t in [1_000, 5_000, 60_000] {
+            s.stream_ingest(&ce(t, id));
+        }
+        let at = SimTime::from_secs(100_000);
+        let row = s.serve(&lake, id, at).unwrap();
+        let restored = store();
+        restored.import_streams(s.export_streams());
+        assert_eq!(restored.serve(&lake, id, at).unwrap(), row);
+        assert_eq!(restored.active_dimms(at), s.active_dimms(at));
     }
 
     #[test]

@@ -1,0 +1,617 @@
+//! Hardened event ingestion: the defensive layer between hostile telemetry
+//! and the online prediction path.
+//!
+//! Production BMC/MCE streams arrive late, duplicated, reordered,
+//! clock-skewed and occasionally malformed (the failure modes
+//! `mfp_sim::chaos` models). [`Ingestor`] normalizes such a stream into
+//! the clean, time-ordered sequence the [`FeatureStore`](crate::feature_store::FeatureStore)
+//! and [`OnlinePredictor`](crate::online::OnlinePredictor) assume:
+//!
+//! 1. **Schema/range validation** against the lake's DIMM catalog and the
+//!    module's device geometry, with per-reason rejection counters in
+//!    `mfp-obs` ([`RejectReason`]).
+//! 2. **Dedup** via a bounded FIFO of recently seen events (exact
+//!    equality, so distinct events are never dropped by collision).
+//! 3. **Watermark re-sequencing**: admitted events are buffered and
+//!    released in timestamp order once the watermark (max admitted
+//!    timestamp minus the configured lateness bound) passes them; events
+//!    older than the watermark are quarantined, never silently inserted
+//!    into already-served windows.
+//! 4. **Gap detection**: a released event following a per-DIMM silence
+//!    longer than `gap_threshold` produces a [`GapRecord`], the online
+//!    analogue of `mfp_ml::metrics::derive_sample_gap` — callers feed
+//!    these to `OnlinePredictor::note_gap` so vote streaks are not glued
+//!    across collection holes.
+//!
+//! The normalization is idempotent (normalize ∘ normalize == normalize,
+//! provided the dedup window spans the stream), and for a drop-free,
+//! mangle-free chaos stream whose reorder displacement is within the
+//! lateness bound it reconstructs the clean stream's event sequence
+//! exactly — the property `tests/prop_resilience.rs` checks end to end.
+
+use crate::lake::DataLake;
+use mfp_dram::address::DimmId;
+use mfp_dram::event::MemEvent;
+use mfp_dram::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Why an event was rejected at the validation stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RejectReason {
+    /// The DIMM is not in the lake's catalog.
+    UnknownDimm,
+    /// Address components exceed the module's device geometry.
+    AddrRange,
+    /// A CE/UE carrying no erroneous bit (physically meaningless).
+    EmptyTransfer,
+    /// A storm event with a zero interrupt count.
+    StormCount,
+    /// Timestamp beyond the configured plausibility horizon.
+    FutureTime,
+}
+
+impl RejectReason {
+    /// Stable label value for telemetry series.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::UnknownDimm => "unknown_dimm",
+            RejectReason::AddrRange => "addr_range",
+            RejectReason::EmptyTransfer => "empty_transfer",
+            RejectReason::StormCount => "storm_count",
+            RejectReason::FutureTime => "future_time",
+        }
+    }
+
+    /// Every reason, for exhaustive telemetry registration.
+    pub const ALL: [RejectReason; 5] = [
+        RejectReason::UnknownDimm,
+        RejectReason::AddrRange,
+        RejectReason::EmptyTransfer,
+        RejectReason::StormCount,
+        RejectReason::FutureTime,
+    ];
+}
+
+/// Ingestion configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Lateness bound: an admitted event may be displaced by at most this
+    /// much behind the maximum admitted timestamp; older arrivals are
+    /// quarantined. This is also the release delay of the reorder buffer.
+    pub lateness: SimDuration,
+    /// How many recently admitted events the dedup set remembers.
+    pub dedup_window: usize,
+    /// Reject events stamped after this instant (collector clock-skew
+    /// guard); `None` disables the check.
+    pub max_timestamp: Option<SimTime>,
+    /// Per-DIMM silence longer than this yields a [`GapRecord`]; `None`
+    /// disables gap detection.
+    pub gap_threshold: Option<SimDuration>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            lateness: SimDuration::hours(1),
+            dedup_window: 65_536,
+            max_timestamp: None,
+            gap_threshold: None,
+        }
+    }
+}
+
+/// A detected per-DIMM collection hole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapRecord {
+    /// The silent DIMM.
+    pub dimm: DimmId,
+    /// Last event before the hole.
+    pub from: SimTime,
+    /// First event after the hole.
+    pub to: SimTime,
+}
+
+impl GapRecord {
+    /// Length of the hole.
+    pub fn length(&self) -> SimDuration {
+        self.to.checked_duration_since(self.from).unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// Counters for one ingestor's lifetime (also exported via `mfp-obs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Events pushed in.
+    pub received: u64,
+    /// Events failing validation, all reasons combined.
+    pub rejected: u64,
+    /// Exact duplicates dropped.
+    pub duplicates: u64,
+    /// Events older than the watermark, set aside.
+    pub quarantined: u64,
+    /// Events released downstream in time order.
+    pub released: u64,
+    /// Collection holes detected.
+    pub gaps: u64,
+}
+
+/// Telemetry handles, resolved once per ingestor.
+#[derive(Debug)]
+struct IngestMetrics {
+    received: mfp_obs::Counter,
+    rejected: Vec<(RejectReason, mfp_obs::Counter)>,
+    duplicates: mfp_obs::Counter,
+    quarantined: mfp_obs::Counter,
+    released: mfp_obs::Counter,
+    gaps: mfp_obs::Counter,
+}
+
+impl IngestMetrics {
+    fn new() -> Self {
+        IngestMetrics {
+            received: mfp_obs::counter("ingest_received", &[]),
+            rejected: RejectReason::ALL
+                .iter()
+                .map(|&r| {
+                    (
+                        r,
+                        mfp_obs::counter("ingest_rejected", &[("reason", r.as_str())]),
+                    )
+                })
+                .collect(),
+            duplicates: mfp_obs::counter("ingest_duplicates", &[]),
+            quarantined: mfp_obs::counter("ingest_quarantined", &[]),
+            released: mfp_obs::counter("ingest_released", &[]),
+            gaps: mfp_obs::counter("ingest_gaps_detected", &[]),
+        }
+    }
+
+    fn reject(&self, reason: RejectReason) {
+        if let Some((_, c)) = self.rejected.iter().find(|(r, _)| *r == reason) {
+            c.incr();
+        }
+    }
+}
+
+/// Streaming normalizer from a hostile event stream to a clean one.
+#[derive(Debug)]
+pub struct Ingestor<'a> {
+    lake: &'a DataLake,
+    cfg: IngestConfig,
+    /// Reorder buffer keyed by (timestamp, admission sequence): release
+    /// order is time order, stable by arrival for equal stamps.
+    buffer: BTreeMap<(SimTime, u64), MemEvent>,
+    seq: u64,
+    /// Maximum admitted timestamp; `watermark() = high_water - lateness`.
+    high_water: SimTime,
+    /// Bounded exact-equality dedup set + its FIFO eviction order.
+    seen: HashSet<MemEvent>,
+    seen_order: VecDeque<MemEvent>,
+    /// Last released timestamp per DIMM, for gap detection.
+    last_seen: BTreeMap<DimmId, SimTime>,
+    gaps: Vec<GapRecord>,
+    quarantine: Vec<MemEvent>,
+    stats: IngestStats,
+    metrics: IngestMetrics,
+}
+
+impl<'a> Ingestor<'a> {
+    /// Creates an ingestor validating against `lake`'s DIMM catalog.
+    pub fn new(lake: &'a DataLake, cfg: IngestConfig) -> Self {
+        Ingestor {
+            lake,
+            cfg,
+            buffer: BTreeMap::new(),
+            seq: 0,
+            high_water: SimTime::ZERO,
+            seen: HashSet::new(),
+            seen_order: VecDeque::new(),
+            last_seen: BTreeMap::new(),
+            gaps: Vec::new(),
+            quarantine: Vec::new(),
+            stats: IngestStats::default(),
+            metrics: IngestMetrics::new(),
+        }
+    }
+
+    /// The current lateness watermark: everything at or after it may still
+    /// legally arrive; anything strictly before it is final.
+    pub fn watermark(&self) -> SimTime {
+        self.high_water.saturating_sub(self.cfg.lateness)
+    }
+
+    /// Validates one event against schema, catalog and range bounds.
+    pub fn validate(&self, event: &MemEvent) -> Result<(), RejectReason> {
+        if self.cfg.max_timestamp.is_some_and(|mt| event.time() > mt) {
+            return Err(RejectReason::FutureTime);
+        }
+        let Some((_, spec)) = self.lake.dimm_info(event.dimm()) else {
+            return Err(RejectReason::UnknownDimm);
+        };
+        match event {
+            MemEvent::Ce(ce) => {
+                if !ce.addr.is_valid(&spec.geometry, spec.ranks) {
+                    return Err(RejectReason::AddrRange);
+                }
+                if ce.transfer.is_empty() {
+                    return Err(RejectReason::EmptyTransfer);
+                }
+            }
+            MemEvent::Ue(ue) => {
+                if !ue.addr.is_valid(&spec.geometry, spec.ranks) {
+                    return Err(RejectReason::AddrRange);
+                }
+                if ue.transfer.is_empty() {
+                    return Err(RejectReason::EmptyTransfer);
+                }
+            }
+            MemEvent::Storm(s) => {
+                if s.count == 0 {
+                    return Err(RejectReason::StormCount);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Feeds one event; returns the events the watermark now releases, in
+    /// timestamp order. Invalid, duplicate and too-late events release
+    /// nothing and are counted instead.
+    pub fn push(&mut self, event: &MemEvent) -> Vec<MemEvent> {
+        self.stats.received += 1;
+        self.metrics.received.incr();
+        if let Err(reason) = self.validate(event) {
+            self.stats.rejected += 1;
+            self.metrics.reject(reason);
+            return Vec::new();
+        }
+        if !self.seen.insert(*event) {
+            self.stats.duplicates += 1;
+            self.metrics.duplicates.incr();
+            return Vec::new();
+        }
+        self.seen_order.push_back(*event);
+        while self.seen_order.len() > self.cfg.dedup_window.max(1) {
+            if let Some(old) = self.seen_order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        if event.time() < self.watermark() {
+            self.stats.quarantined += 1;
+            self.metrics.quarantined.incr();
+            self.quarantine.push(*event);
+            return Vec::new();
+        }
+        self.buffer.insert((event.time(), self.seq), *event);
+        self.seq += 1;
+        self.high_water = self.high_water.max(event.time());
+        self.drain_released()
+    }
+
+    /// Releases everything still buffered (end of stream).
+    pub fn flush(&mut self) -> Vec<MemEvent> {
+        let out: Vec<MemEvent> = std::mem::take(&mut self.buffer).into_values().collect();
+        self.note_released(&out);
+        out
+    }
+
+    /// Pops buffered events the watermark has passed.
+    fn drain_released(&mut self) -> Vec<MemEvent> {
+        let bound = self.watermark();
+        let mut out = Vec::new();
+        while let Some((&(t, s), _)) = self.buffer.iter().next() {
+            if t > bound {
+                break;
+            }
+            if let Some(e) = self.buffer.remove(&(t, s)) {
+                out.push(e);
+            }
+        }
+        self.note_released(&out);
+        out
+    }
+
+    /// Stats/gap bookkeeping for a batch of released events.
+    fn note_released(&mut self, released: &[MemEvent]) {
+        self.stats.released += released.len() as u64;
+        self.metrics.released.add(released.len() as u64);
+        let Some(threshold) = self.cfg.gap_threshold else {
+            return;
+        };
+        for e in released {
+            let t = e.time();
+            if let Some(&prev) = self.last_seen.get(&e.dimm()) {
+                let gap = t.checked_duration_since(prev).unwrap_or(SimDuration::ZERO);
+                if gap > threshold {
+                    self.gaps.push(GapRecord {
+                        dimm: e.dimm(),
+                        from: prev,
+                        to: t,
+                    });
+                    self.stats.gaps += 1;
+                    self.metrics.gaps.incr();
+                }
+            }
+            self.last_seen.insert(e.dimm(), t);
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Collection holes detected so far (in release order).
+    pub fn gaps(&self) -> &[GapRecord] {
+        &self.gaps
+    }
+
+    /// Drains the detected holes (callers forward them to
+    /// `OnlinePredictor::note_gap` once per hole).
+    pub fn take_gaps(&mut self) -> Vec<GapRecord> {
+        std::mem::take(&mut self.gaps)
+    }
+
+    /// Events set aside as irreparably late (for offline backfill).
+    pub fn quarantined(&self) -> &[MemEvent] {
+        &self.quarantine
+    }
+}
+
+/// One-shot normalization of a whole stream: validate, dedup, re-sequence
+/// and flush. Returns the clean stream and the ingestion counters.
+pub fn normalize(
+    lake: &DataLake,
+    cfg: IngestConfig,
+    events: &[MemEvent],
+) -> (Vec<MemEvent>, IngestStats) {
+    let mut ing = Ingestor::new(lake, cfg);
+    let mut out = Vec::with_capacity(events.len());
+    for e in events {
+        out.extend(ing.push(e));
+    }
+    out.extend(ing.flush());
+    (out, ing.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfp_dram::address::CellAddr;
+    use mfp_dram::bus::ErrorTransfer;
+    use mfp_dram::event::{CeEvent, CeStormEvent};
+    use mfp_dram::geometry::Platform;
+    use mfp_dram::spec::DimmSpec;
+    use mfp_sim::chaos::{inject_chaos, ChaosConfig};
+
+    fn ce(t: u64, dimm: DimmId) -> MemEvent {
+        MemEvent::Ce(CeEvent {
+            time: SimTime::from_secs(t),
+            dimm,
+            addr: CellAddr::new(0, (t % 16) as u8, (t % 1000) as u32, (t % 64) as u16),
+            transfer: ErrorTransfer::from_bits([(0, (t % 72) as u8)]),
+        })
+    }
+
+    fn lake_with(dimms: &[DimmId]) -> DataLake {
+        let lake = DataLake::new();
+        for &d in dimms {
+            lake.register_dimm(d, Platform::IntelPurley, DimmSpec::default());
+        }
+        lake
+    }
+
+    #[test]
+    fn validation_rejects_each_reason() {
+        let id = DimmId::new(1, 0);
+        let lake = lake_with(&[id]);
+        let ing = Ingestor::new(
+            &lake,
+            IngestConfig {
+                max_timestamp: Some(SimTime::from_secs(1_000_000)),
+                ..IngestConfig::default()
+            },
+        );
+        assert_eq!(
+            ing.validate(&ce(10, DimmId::new(99, 0))),
+            Err(RejectReason::UnknownDimm)
+        );
+        let mut bad_rank = ce(10, id);
+        if let MemEvent::Ce(c) = &mut bad_rank {
+            c.addr.rank = u8::MAX;
+        }
+        assert_eq!(ing.validate(&bad_rank), Err(RejectReason::AddrRange));
+        let empty = MemEvent::Ce(CeEvent {
+            time: SimTime::from_secs(10),
+            dimm: id,
+            addr: CellAddr::new(0, 0, 1, 1),
+            transfer: ErrorTransfer::new(),
+        });
+        assert_eq!(ing.validate(&empty), Err(RejectReason::EmptyTransfer));
+        let storm = MemEvent::Storm(CeStormEvent {
+            time: SimTime::from_secs(10),
+            dimm: id,
+            count: 0,
+        });
+        assert_eq!(ing.validate(&storm), Err(RejectReason::StormCount));
+        let future = ce(2_000_000, id);
+        assert_eq!(ing.validate(&future), Err(RejectReason::FutureTime));
+        assert_eq!(ing.validate(&ce(10, id)), Ok(()));
+    }
+
+    #[test]
+    fn rejected_events_are_counted_not_released() {
+        let id = DimmId::new(1, 0);
+        let lake = lake_with(&[id]);
+        let events = vec![ce(10, id), ce(20, DimmId::new(9, 9)), ce(30, id)];
+        let (out, stats) = normalize(&lake, IngestConfig::default(), &events);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.received, 3);
+    }
+
+    #[test]
+    fn exact_duplicates_are_dropped() {
+        let id = DimmId::new(1, 0);
+        let lake = lake_with(&[id]);
+        let e = ce(100, id);
+        let events = vec![e, ce(200, id), e, e];
+        let (out, stats) = normalize(&lake, IngestConfig::default(), &events);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.duplicates, 2);
+        // Near-duplicates (different transfer) are distinct events.
+        let mut variant = e;
+        if let MemEvent::Ce(c) = &mut variant {
+            c.transfer = ErrorTransfer::from_bits([(1, 1)]);
+        }
+        let (out, stats) = normalize(&lake, IngestConfig::default(), &[e, variant]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.duplicates, 0);
+    }
+
+    #[test]
+    fn dedup_window_is_bounded() {
+        let id = DimmId::new(1, 0);
+        let lake = lake_with(&[id]);
+        let cfg = IngestConfig {
+            dedup_window: 4,
+            lateness: SimDuration::days(300),
+            ..IngestConfig::default()
+        };
+        let mut events: Vec<MemEvent> = (0..10).map(|k| ce(100 + k, id)).collect();
+        events.push(ce(100, id)); // duplicate, but 10 events back
+        let (out, stats) = normalize(&lake, cfg, &events);
+        assert_eq!(stats.duplicates, 0, "evicted fingerprints cannot match");
+        assert_eq!(out.len(), 11);
+    }
+
+    #[test]
+    fn reorder_within_lateness_is_resequenced() {
+        let id = DimmId::new(1, 0);
+        let lake = lake_with(&[id]);
+        let clean: Vec<MemEvent> = (0..100u64).map(|k| ce(1000 + k * 60, id)).collect();
+        // Deterministic shuffle: swap adjacent pairs (displacement 60s).
+        let mut shuffled = clean.clone();
+        for pair in shuffled.chunks_mut(2) {
+            pair.reverse();
+        }
+        let cfg = IngestConfig {
+            lateness: SimDuration::minutes(5),
+            ..IngestConfig::default()
+        };
+        let (out, stats) = normalize(&lake, cfg, &shuffled);
+        assert_eq!(out, clean, "buffer must restore timestamp order");
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.released, 100);
+    }
+
+    #[test]
+    fn beyond_lateness_is_quarantined() {
+        let id = DimmId::new(1, 0);
+        let lake = lake_with(&[id]);
+        let cfg = IngestConfig {
+            lateness: SimDuration::minutes(5),
+            ..IngestConfig::default()
+        };
+        let mut ing = Ingestor::new(&lake, cfg);
+        let mut released = Vec::new();
+        released.extend(ing.push(&ce(10_000, id)));
+        // An hour-old straggler: behind the watermark, quarantined.
+        let straggler = ce(6_000, id);
+        assert!(ing.push(&straggler).is_empty());
+        released.extend(ing.flush());
+        assert_eq!(ing.stats().quarantined, 1);
+        assert_eq!(ing.quarantined(), &[straggler]);
+        assert_eq!(released.len(), 1, "straggler must not be released");
+        assert!(released.iter().all(|e| e.time().as_secs() == 10_000));
+    }
+
+    #[test]
+    fn released_stream_is_time_ordered() {
+        let id = DimmId::new(1, 0);
+        let lake = lake_with(&[id]);
+        let clean: Vec<MemEvent> = (0..400u64).map(|k| ce(500 + k * 37, id)).collect();
+        let (hostile, _) = inject_chaos(&clean, &ChaosConfig::hostile(5));
+        let cfg = IngestConfig {
+            lateness: SimDuration::hours(1),
+            ..IngestConfig::default()
+        };
+        let (out, _) = normalize(&lake, cfg, &hostile);
+        assert!(
+            out.windows(2).all(|w| w[0].time() <= w[1].time()),
+            "released stream must be non-decreasing in time"
+        );
+    }
+
+    #[test]
+    fn gap_detection_records_holes() {
+        let id = DimmId::new(1, 0);
+        let other = DimmId::new(2, 0);
+        let lake = lake_with(&[id, other]);
+        let cfg = IngestConfig {
+            gap_threshold: Some(SimDuration::days(2)),
+            ..IngestConfig::default()
+        };
+        let mut ing = Ingestor::new(&lake, cfg);
+        let mut feed = vec![ce(1_000, id), ce(10_000, id)];
+        // 5 days of silence on `id`; `other` keeps reporting daily, so it
+        // never crosses the 2-day gap threshold.
+        for day in 0..6u64 {
+            feed.push(ce(2_000 + day * 86_400, other));
+        }
+        feed.push(ce(442_000, id));
+        feed.sort_by_key(|e| e.time());
+        for e in &feed {
+            ing.push(e);
+        }
+        ing.flush();
+        assert_eq!(ing.stats().gaps, 1);
+        let gap = ing.gaps()[0];
+        assert_eq!(gap.dimm, id);
+        assert_eq!(gap.from, SimTime::from_secs(10_000));
+        assert_eq!(gap.to, SimTime::from_secs(442_000));
+        assert!(gap.length() > SimDuration::days(4));
+        assert_eq!(ing.take_gaps().len(), 1);
+        assert!(ing.gaps().is_empty());
+    }
+
+    #[test]
+    fn normalize_is_idempotent_on_chaos_streams() {
+        let ids: Vec<DimmId> = (0..5).map(|s| DimmId::new(s, 0)).collect();
+        let lake = lake_with(&ids);
+        let clean: Vec<MemEvent> =
+            (0..300u64).map(|k| ce(1_000 + k * 97, ids[(k % 5) as usize])).collect();
+        let (hostile, _) = inject_chaos(&clean, &ChaosConfig::hostile(11));
+        let cfg = IngestConfig {
+            lateness: SimDuration::hours(2),
+            ..IngestConfig::default()
+        };
+        let (once, _) = normalize(&lake, cfg, &hostile);
+        let (twice, stats) = normalize(&lake, cfg, &once);
+        assert_eq!(once, twice, "normalize must be idempotent");
+        assert_eq!(stats.rejected + stats.duplicates + stats.quarantined, 0);
+    }
+
+    #[test]
+    fn lossless_chaos_normalizes_to_the_clean_stream() {
+        let ids: Vec<DimmId> = (0..4).map(|s| DimmId::new(s, 0)).collect();
+        let lake = lake_with(&ids);
+        let clean: Vec<MemEvent> =
+            (0..500u64).map(|k| ce(2_000 + k * 53, ids[(k % 4) as usize])).collect();
+        let chaos_cfg = ChaosConfig::lossless(21);
+        let (hostile, cstats) = inject_chaos(&clean, &chaos_cfg);
+        assert!(cstats.delayed > 0, "chaos must actually reorder");
+        let cfg = IngestConfig {
+            lateness: chaos_cfg.max_lateness,
+            ..IngestConfig::default()
+        };
+        let (from_chaos, stats) = normalize(&lake, cfg, &hostile);
+        let (from_clean, _) = normalize(&lake, cfg, &clean);
+        assert_eq!(
+            from_chaos, from_clean,
+            "lossless chaos within the lateness bound must normalize exactly"
+        );
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.duplicates, cstats.duplicated);
+    }
+}

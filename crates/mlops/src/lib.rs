@@ -5,6 +5,11 @@
 //!
 //! * [`lake`] — the data pipeline's landing zone: partitioned event store +
 //!   DIMM catalog, fed by the binary BMC wire format.
+//! * [`ingest`] — hardened ingestion for hostile telemetry: validation
+//!   with per-reason rejection counters, bounded dedup, watermark-based
+//!   re-sequencing with quarantine, and collection-gap detection.
+//! * [`checkpoint`] — crash/restore for the online path: bit-exact
+//!   serialization of predictor + feature-stream state.
 //! * [`feature_store`] — transformation (batch + streaming), storage,
 //!   cataloging and serving of features, with an executable train/serve
 //!   consistency check.
@@ -23,9 +28,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cicd;
 pub mod drift;
 pub mod feature_store;
+pub mod ingest;
 pub mod lake;
 pub mod lifecycle;
 pub mod mitigation;
@@ -35,9 +42,11 @@ pub mod registry;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
+    pub use crate::checkpoint::{CheckpointError, OnlineCheckpoint};
     pub use crate::cicd::{run_pipeline, PipelineConfig, PipelineRun, StageResult};
     pub use crate::drift::{psi_report, psi_report_excluding, DriftReport};
     pub use crate::feature_store::{FeatureStore, FeatureView};
+    pub use crate::ingest::{normalize, GapRecord, IngestConfig, IngestStats, Ingestor, RejectReason};
     pub use crate::lake::DataLake;
     pub use crate::lifecycle::{run_lifecycle, Checkpoint, LifecycleConfig};
     pub use crate::mitigation::{evaluate_mitigation, MitigationConfig, MitigationReport};

@@ -33,6 +33,11 @@ pub struct OnlineConfig {
     pub votes: usize,
     /// Suppress further alarms for one DIMM after this long.
     pub alarm_cooldown: SimDuration,
+    /// Degraded-mode grace: when a DIMM's stream goes quiet, keep scoring
+    /// it with its last successfully served feature row for this long
+    /// before giving up on it. `ZERO` (the default) disables degraded
+    /// scoring — quiet DIMMs simply leave the active set.
+    pub degraded_grace: SimDuration,
 }
 
 impl Default for OnlineConfig {
@@ -41,6 +46,7 @@ impl Default for OnlineConfig {
             prediction_interval: SimDuration::hours(6),
             votes: 2,
             alarm_cooldown: SimDuration::days(30),
+            degraded_grace: SimDuration::ZERO,
         }
     }
 }
@@ -54,6 +60,9 @@ struct OnlineMetrics {
     cooldown_suppressed: mfp_obs::Counter,
     streaks_reset: mfp_obs::Counter,
     entries_pruned: mfp_obs::Counter,
+    stale_rejected: mfp_obs::Counter,
+    gap_streak_resets: mfp_obs::Counter,
+    degraded_scores: mfp_obs::Counter,
     tick_seconds: mfp_obs::Histogram,
 }
 
@@ -68,6 +77,9 @@ impl OnlineMetrics {
             cooldown_suppressed: mfp_obs::counter("online_cooldown_suppressed", labels),
             streaks_reset: mfp_obs::counter("online_streaks_reset", labels),
             entries_pruned: mfp_obs::counter("online_entries_pruned", labels),
+            stale_rejected: mfp_obs::counter("online_stale_rejected", labels),
+            gap_streak_resets: mfp_obs::counter("online_gap_streak_resets", labels),
+            degraded_scores: mfp_obs::counter("online_degraded_scores", labels),
             tick_seconds: mfp_obs::latency("online_tick_seconds", labels),
         }
     }
@@ -79,13 +91,20 @@ pub struct OnlinePredictor<'a> {
     lake: &'a DataLake,
     store: &'a FeatureStore,
     registry: &'a ModelRegistry,
-    platform: Platform,
-    cfg: OnlineConfig,
-    next_tick: SimTime,
-    streaks: BTreeMap<DimmId, u32>,
-    last_alarm: BTreeMap<DimmId, SimTime>,
-    alarms: Vec<Alarm>,
-    scored: u64,
+    pub(crate) platform: Platform,
+    pub(crate) cfg: OnlineConfig,
+    pub(crate) next_tick: SimTime,
+    /// Last executed prediction tick: events stamped before it would land
+    /// inside windows already served and are rejected by [`Self::observe`].
+    pub(crate) watermark: SimTime,
+    pub(crate) streaks: BTreeMap<DimmId, u32>,
+    pub(crate) last_alarm: BTreeMap<DimmId, SimTime>,
+    pub(crate) alarms: Vec<Alarm>,
+    pub(crate) scored: u64,
+    pub(crate) stale_rejected: u64,
+    /// Last successfully served feature row per DIMM, kept only when
+    /// `cfg.degraded_grace > 0` (degraded-mode scoring cache).
+    pub(crate) last_good: BTreeMap<DimmId, (SimTime, Vec<f32>)>,
     metrics: OnlineMetrics,
 }
 
@@ -105,23 +124,36 @@ impl<'a> OnlinePredictor<'a> {
             platform,
             cfg,
             next_tick: SimTime::ZERO + cfg.prediction_interval,
+            watermark: SimTime::ZERO,
             streaks: BTreeMap::new(),
             last_alarm: BTreeMap::new(),
             alarms: Vec::new(),
             scored: 0,
+            stale_rejected: 0,
+            last_good: BTreeMap::new(),
             metrics: OnlineMetrics::for_platform(platform),
         }
     }
 
-    /// Feeds one event (events must arrive in time order); runs any due
-    /// prediction ticks first.
-    pub fn observe(&mut self, event: &MemEvent) {
+    /// Feeds one event; runs any due prediction ticks first. Returns
+    /// whether the event was accepted: events stamped before the last
+    /// executed tick are rejected (and counted) instead of being spliced
+    /// into rolling windows that prediction already consumed — feed
+    /// hostile streams through `crate::ingest::Ingestor` so stragglers
+    /// are re-sequenced or quarantined before they reach this point.
+    pub fn observe(&mut self, event: &MemEvent) -> bool {
+        if event.time() < self.watermark {
+            self.stale_rejected += 1;
+            self.metrics.stale_rejected.incr();
+            return false;
+        }
         while event.time() >= self.next_tick {
             let tick = self.next_tick;
             self.tick(tick);
             self.next_tick += self.cfg.prediction_interval;
         }
         self.store.stream_ingest(event);
+        true
     }
 
     /// Flushes prediction ticks up to `until` (end of stream).
@@ -134,17 +166,31 @@ impl<'a> OnlinePredictor<'a> {
     }
 
     fn tick(&mut self, now: SimTime) {
+        // The tick consumes every window ending at `now`; later events
+        // stamped before it would silently rewrite served history, so the
+        // watermark advances even when no model is in production.
+        self.watermark = now;
         let Some(production) = self.registry.production(self.platform) else {
             return;
         };
         let _span = self.metrics.tick_seconds.time();
         self.metrics.ticks.incr();
         let active: BTreeSet<DimmId> = self.store.active_dimms(now).into_iter().collect();
+        // Degraded mode: DIMMs whose stream went quiet keep their last
+        // successfully served feature row for `degraded_grace` and stay
+        // scoreable — a collector outage must not blind the predictor to
+        // a module that was trending towards failure.
+        let mut candidates = active.clone();
+        if self.cfg.degraded_grace > SimDuration::ZERO {
+            let grace = self.cfg.degraded_grace;
+            self.last_good.retain(|_, (t, _)| now <= *t + grace);
+            candidates.extend(self.last_good.keys().copied());
+        }
         // A DIMM that went quiet since the last tick produced no score, so
         // its votes are no longer consecutive — the streak must restart
         // from zero when (if) it comes back.
         let before = self.streaks.len();
-        self.streaks.retain(|d, _| active.contains(d));
+        self.streaks.retain(|d, _| candidates.contains(d));
         self.metrics
             .streaks_reset
             .add((before - self.streaks.len()) as u64);
@@ -157,9 +203,23 @@ impl<'a> OnlinePredictor<'a> {
         self.metrics
             .entries_pruned
             .add((before - self.last_alarm.len()) as u64);
-        for dimm in active {
-            let Some(row) = self.store.serve(self.lake, dimm, now) else {
-                continue;
+        for dimm in candidates {
+            let row = if active.contains(&dimm) {
+                let Some(row) = self.store.serve(self.lake, dimm, now) else {
+                    continue;
+                };
+                if self.cfg.degraded_grace > SimDuration::ZERO {
+                    self.last_good.insert(dimm, (now, row.clone()));
+                }
+                row
+            } else {
+                // Quiet DIMM inside the grace window: score the cached
+                // last-known-good row rather than a half-empty window.
+                let Some((_, row)) = self.last_good.get(&dimm) else {
+                    continue;
+                };
+                self.metrics.degraded_scores.incr();
+                row.clone()
             };
             let score = production.model.predict_proba(&row);
             self.scored += 1;
@@ -198,6 +258,30 @@ impl<'a> OnlinePredictor<'a> {
     /// Number of model invocations (monitoring counter).
     pub fn scored(&self) -> u64 {
         self.scored
+    }
+
+    /// Events rejected for preceding the last processed tick.
+    pub fn stale_rejected(&self) -> u64 {
+        self.stale_rejected
+    }
+
+    /// The last executed prediction tick; [`Self::observe`] rejects
+    /// events stamped before it.
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Records a detected collection hole on `dimm` (reported by
+    /// `crate::ingest::Ingestor`): scores on opposite sides of a hole are
+    /// not consecutive, so the vote streak restarts — the online analogue
+    /// of the gap-aware offline voting in `mfp_ml::metrics`. The degraded
+    /// cache is dropped too; a row served before the hole no longer
+    /// represents the stream that resumed after it.
+    pub fn note_gap(&mut self, dimm: DimmId) {
+        if self.streaks.remove(&dimm).is_some() {
+            self.metrics.gap_streak_resets.incr();
+        }
+        self.last_good.remove(&dimm);
     }
 }
 
@@ -371,6 +455,116 @@ mod tests {
         assert!(p.last_alarm.is_empty(), "expired cooldown must be pruned");
         assert!(p.streaks.is_empty(), "inactive streaks must be pruned");
         assert_eq!(p.alarms().len(), 1, "pruning must not re-alarm");
+    }
+
+    #[test]
+    fn stale_events_are_rejected_at_the_watermark() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        setup(&lake, &registry);
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut p = OnlinePredictor::new(
+            &lake,
+            &store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        let id = DimmId::new(1, 0);
+        // Crossing t=86_400 runs ticks up to d1+00:00; the watermark is
+        // now the last executed tick.
+        assert!(p.observe(&risky_ce(90_000, id, true)));
+        assert_eq!(p.watermark(), SimTime::from_secs(86_400));
+        // A straggler from before the watermark would splice history into
+        // windows prediction already consumed — rejected, counted.
+        assert!(!p.observe(&risky_ce(50_000, id, true)));
+        assert_eq!(p.stale_rejected(), 1);
+        // At or after the watermark is still legal (windows are half-open).
+        assert!(p.observe(&risky_ce(86_400, id, true)));
+        assert_eq!(p.stale_rejected(), 1);
+    }
+
+    #[test]
+    fn degraded_mode_scores_quiet_dimms_with_last_good_row() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        setup(&lake, &registry);
+        // 4-hour observation: a lone CE keeps its DIMM active for exactly
+        // one 6-hour tick, then the stream is "quiet".
+        let problem = ProblemConfig {
+            observation: SimDuration::hours(4),
+            ..ProblemConfig::default()
+        };
+        let id = DimmId::new(1, 0);
+        // Baseline: without grace a single risky CE gets one vote and the
+        // predictor never alarms.
+        let store = FeatureStore::new(problem, FaultThresholds::default());
+        let mut base = OnlinePredictor::new(
+            &lake,
+            &store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        base.observe(&risky_ce(20_000, id, true));
+        base.finish(SimTime::from_secs(2 * 86_400));
+        assert!(base.alarms().is_empty());
+        let base_scored = base.scored();
+        // Degraded mode: the cached last-known-good row keeps voting while
+        // the stream is quiet, completing the consecutive votes.
+        let store = FeatureStore::new(problem, FaultThresholds::default());
+        let mut degraded = OnlinePredictor::new(
+            &lake,
+            &store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig {
+                degraded_grace: SimDuration::days(1),
+                ..OnlineConfig::default()
+            },
+        );
+        degraded.observe(&risky_ce(20_000, id, true));
+        degraded.finish(SimTime::from_secs(2 * 86_400));
+        assert!(
+            degraded.scored() > base_scored,
+            "grace must keep the quiet DIMM scoreable"
+        );
+        assert_eq!(
+            degraded.alarms().len(),
+            1,
+            "votes must accumulate across the quiet period"
+        );
+        // The cache expires after the grace window.
+        assert!(
+            degraded.last_good.is_empty(),
+            "expired last-good rows must be pruned"
+        );
+    }
+
+    #[test]
+    fn note_gap_restarts_vote_streaks() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        setup(&lake, &registry);
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut p = OnlinePredictor::new(
+            &lake,
+            &store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        let id = DimmId::new(1, 0);
+        // Build a one-vote streak (one tick worth of risky CEs).
+        for k in 0..4u64 {
+            p.observe(&risky_ce(k * 7200, id, true));
+        }
+        p.finish(SimTime::from_secs(21_601));
+        assert_eq!(p.streaks.get(&id), Some(&1));
+        // A collection hole was detected: votes across it are not
+        // consecutive.
+        p.note_gap(id);
+        assert!(!p.streaks.contains_key(&id));
     }
 
     #[test]

@@ -96,7 +96,7 @@ pub fn simulate_dimm_ras<R: Rng>(
                 break;
             }
             t += SimDuration::secs(dt.max(1.0) as u64);
-            if t.checked_duration_since(SimTime::ZERO).unwrap() >= horizon {
+            if t >= SimTime::ZERO + horizon {
                 break;
             }
             hits.push((t, idx));
@@ -138,9 +138,15 @@ pub fn simulate_dimm_ras<R: Rng>(
             DecodeOutcome::Clean => {}
             DecodeOutcome::Corrected => {
                 // Storm bookkeeping happens on the *interrupt*, logged or not.
+                // `checked_duration_since` would panic on a regressed
+                // clock; saturate instead so a skewed record can never
+                // abort the run.
                 while recent_ces
                     .front()
-                    .is_some_and(|&t0| t.checked_duration_since(t0).unwrap().as_secs() > 60)
+                    .is_some_and(|&t0| {
+                        t.checked_duration_since(t0)
+                            .is_some_and(|d| d.as_secs() > 60)
+                    })
                 {
                     recent_ces.pop_front();
                 }

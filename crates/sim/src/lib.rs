@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod dimm;
 pub mod fault;
@@ -40,6 +41,7 @@ pub mod ras;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
+    pub use crate::chaos::{inject_chaos, BurstLoss, ChaosConfig, ChaosStats};
     pub use crate::config::{DimmCategory, FleetConfig, PlatformConfig};
     pub use crate::dimm::{simulate_dimm, DimmOutcome, StormPolicy};
     pub use crate::fault::{Fault, FaultMode, SeverityProfile};

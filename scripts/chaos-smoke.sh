@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Chaos smoke: run the hostile-telemetry end-to-end sweep at three
+# corruption rates and fail the build if alarm recall (vs. the clean
+# baseline through the same hardened path) drops below the floor, or if
+# the lossless-chaos bit-identity check fails.
+#
+# Prefers cargo; falls back to the offline rustc harness when the
+# registry is unreachable (air-gapped CI).
+#
+# Usage: scripts/chaos-smoke.sh [extra chaos_e2e flags ...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+ARGS=(--rates 0.0,0.15,0.3 --min-recall 0.7 "$@")
+
+if cargo build --release -p mfp-bench --bin chaos_e2e 2>/dev/null; then
+  exec cargo run --release -p mfp-bench --bin chaos_e2e -- "${ARGS[@]}"
+fi
+
+echo "[chaos-smoke] cargo unavailable, using the offline harness" >&2
+exec "$ROOT/scripts/offline-test.sh" --bin chaos_e2e -- "${ARGS[@]}"

@@ -13,13 +13,25 @@
 #      `parking_lot` and `bytes`,
 #   4. compiles with `rustc --test` and runs the unit tests.
 #
+# The bench binaries under crates/bench/src/bin/ are compiled (as modules
+# of the merged crate) so they stay type-checked offline, and any one of
+# them can be *run* with `--bin`.
+#
 # Out of scope: integration tests under tests/ (need proptest), Criterion
-# benches, doctests, and the bench binaries. The rand shim is a SplitMix64
-# stream, NOT the real StdRng, so numeric results differ from cargo builds
-# while every seed-determinism property still holds.
+# benches, and doctests. The rand shim is a SplitMix64 stream, NOT the
+# real StdRng, so numeric results differ from cargo builds while every
+# seed-determinism property still holds.
 #
 # Usage: scripts/offline-test.sh [test-name-filter ...]
+#        scripts/offline-test.sh --bin NAME [-- args ...]
 set -euo pipefail
+
+BIN=""
+if [ "${1:-}" = "--bin" ]; then
+  BIN="${2:?--bin needs a binary name}"
+  shift 2
+  [ "${1:-}" = "--" ] && shift
+fi
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 WORK="$(mktemp -d /tmp/offline-test.XXXXXX)"
@@ -54,6 +66,16 @@ for crate in $CRATES; do
     [ "$base" = "lib.rs" ] && continue
     transform "$crate" < "$f" > "$dst/$base"
   done
+done
+
+# Bench binaries become modules of the merged crate (entry point exposed
+# as `pub fn main` so `--bin` mode can call it).
+mkdir -p "$WORK/bins"
+: > "$WORK/bins/mod.rs"
+for f in "$ROOT"/crates/bench/src/bin/*.rs; do
+  base="$(basename "$f" .rs)"
+  transform bench < "$f" | sed -E 's/^fn main\(\)/pub fn main()/' > "$WORK/bins/$base.rs"
+  echo "pub mod $base;" >> "$WORK/bins/mod.rs"
 done
 
 # ---------------------------------------------------------------- shims --
@@ -328,7 +350,19 @@ EOF
   for crate in $CRATES; do
     echo "pub mod mfp_$crate;"
   done
+  echo 'pub mod bins;'
+  if [ -n "$BIN" ]; then
+    echo "fn main() { bins::$BIN::main() }"
+  fi
 } > "$WORK/main.rs"
+
+if [ -n "$BIN" ]; then
+  echo "[offline-test] compiling binary $BIN in $WORK ..." >&2
+  rustc --edition 2021 -O "$WORK/main.rs" -o "$WORK/bin"
+  echo "[offline-test] running $BIN ..." >&2
+  "$WORK/bin" "$@"
+  exit 0
+fi
 
 echo "[offline-test] compiling in $WORK ..." >&2
 rustc --edition 2021 -O --test "$WORK/main.rs" -o "$WORK/harness"

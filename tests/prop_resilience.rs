@@ -1,0 +1,233 @@
+//! Property tests of the hostile-telemetry path: ingestion normalization
+//! is idempotent, lossless chaos (duplicates + bounded reorder) never
+//! changes the online alarm sequence, and crash/restore from a binary
+//! checkpoint is bit-identical to an uninterrupted run.
+
+use mfp_dram::address::{CellAddr, DimmId};
+use mfp_dram::bus::ErrorTransfer;
+use mfp_dram::event::{CeEvent, MemEvent};
+use mfp_dram::geometry::Platform;
+use mfp_dram::spec::DimmSpec;
+use mfp_dram::time::{SimDuration, SimTime};
+use mfp_features::fault_analysis::FaultThresholds;
+use mfp_features::labeling::ProblemConfig;
+use mfp_ml::metrics::{Confusion, Evaluation};
+use mfp_ml::model::{Algorithm, Model};
+use mfp_ml::risky_ce::RiskyCePattern;
+use mfp_mlops::prelude::*;
+use mfp_sim::chaos::{inject_chaos, ChaosConfig};
+use proptest::prelude::*;
+
+const NDIMMS: u32 = 3;
+
+fn lake_with_dimms() -> DataLake {
+    let lake = DataLake::new();
+    for k in 0..NDIMMS {
+        lake.register_dimm(DimmId::new(k, 0), Platform::IntelPurley, DimmSpec::default());
+    }
+    lake
+}
+
+/// Registers + promotes the deterministic risky-CE production model, as
+/// the online unit tests do.
+fn registry_with_model() -> ModelRegistry {
+    let registry = ModelRegistry::new();
+    let eval = Evaluation::from_confusion(
+        Confusion {
+            tp: 1,
+            fp: 0,
+            fn_: 0,
+            tn: 1,
+        },
+        0.5,
+    );
+    let mid = registry.register(
+        Algorithm::RiskyCePattern,
+        Platform::IntelPurley,
+        SimTime::ZERO,
+        eval,
+        0.5,
+        Model::RiskyCe(RiskyCePattern::default()),
+    );
+    registry.promote(mid);
+    registry
+}
+
+/// A CE on a valid address; `flip` carries the Purley risky signature.
+fn ce(t: u64, dimm: DimmId, flip: bool) -> MemEvent {
+    let bits: Vec<(u8, u8)> = if flip {
+        vec![(1, 20), (5, 21)]
+    } else {
+        vec![(1, 20)]
+    };
+    MemEvent::Ce(CeEvent {
+        time: SimTime::from_secs(t),
+        dimm,
+        addr: CellAddr::new(0, (t % 16) as u8, (t % 1000) as u32, (t % 512) as u16),
+        transfer: ErrorTransfer::from_bits(bits),
+    })
+}
+
+/// Strictly time-increasing multi-DIMM CE streams (distinct timestamps,
+/// so re-sequenced delivery order is unique).
+fn stream_strategy() -> impl Strategy<Value = Vec<MemEvent>> {
+    proptest::collection::vec((0..NDIMMS, proptest::bool::ANY, 60u64..7_200), 10..60).prop_map(
+        |raw| {
+            let mut t = 1_000u64;
+            raw.into_iter()
+                .map(|(d, flip, gap)| {
+                    t += gap;
+                    ce(t, DimmId::new(d, 0), flip)
+                })
+                .collect()
+        },
+    )
+}
+
+/// Delivery-ordered stream -> hardened ingestion -> online prediction;
+/// returns the alarm sequence and the scored count.
+fn run_hardened(
+    lake: &DataLake,
+    registry: &ModelRegistry,
+    delivery: &[MemEvent],
+    end: SimTime,
+) -> (Vec<Alarm>, u64) {
+    let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+    let mut predictor = OnlinePredictor::new(
+        lake,
+        &store,
+        registry,
+        Platform::IntelPurley,
+        OnlineConfig::default(),
+    );
+    let mut ingestor = Ingestor::new(
+        lake,
+        IngestConfig {
+            lateness: SimDuration::hours(1),
+            ..IngestConfig::default()
+        },
+    );
+    for e in delivery {
+        for released in ingestor.push(e) {
+            predictor.observe(&released);
+        }
+    }
+    for released in ingestor.flush() {
+        predictor.observe(&released);
+    }
+    predictor.finish(end);
+    (predictor.alarms().to_vec(), predictor.scored())
+}
+
+fn assert_alarms_bit_identical(
+    a: &[Alarm],
+    b: &[Alarm],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(a.len(), b.len(), "alarm counts differ");
+    for (x, y) in a.iter().zip(b) {
+        prop_assert_eq!(x.dimm, y.dimm);
+        prop_assert_eq!(x.time, y.time);
+        prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    /// `normalize` is idempotent: a second pass over an already
+    /// normalized stream changes nothing and rejects nothing.
+    #[test]
+    fn normalize_is_idempotent(
+        events in stream_strategy(),
+        seed in 0u64..1_000,
+        rate in 0.0f64..=1.0,
+    ) {
+        let lake = lake_with_dimms();
+        let (hostile, _) = inject_chaos(&events, &ChaosConfig::hostile_at(seed, rate));
+        let cfg = IngestConfig {
+            lateness: SimDuration::hours(2),
+            ..IngestConfig::default()
+        };
+        let (once, _) = normalize(&lake, cfg, &hostile);
+        let (twice, stats) = normalize(&lake, cfg, &once);
+        prop_assert_eq!(&once, &twice, "normalization must be a fixpoint");
+        prop_assert_eq!(stats.rejected, 0);
+        prop_assert_eq!(stats.duplicates, 0);
+        prop_assert_eq!(stats.quarantined, 0);
+        // And the output is time-ordered.
+        prop_assert!(once.windows(2).all(|w| w[0].time() <= w[1].time()));
+    }
+
+    /// Lossless chaos — duplicates plus reorder bounded by the ingestor's
+    /// lateness — leaves the online alarm sequence bit-identical.
+    #[test]
+    fn lossless_chaos_preserves_alarms(events in stream_strategy(), seed in 0u64..1_000) {
+        let lake = lake_with_dimms();
+        let registry = registry_with_model();
+        let end = SimTime::from_secs(events.last().map_or(0, |e| e.time().as_secs()))
+            + SimDuration::days(2);
+
+        let (clean_alarms, clean_scored) = run_hardened(&lake, &registry, &events, end);
+        let (chaotic, stats) = inject_chaos(&events, &ChaosConfig::lossless(seed));
+        prop_assert_eq!(stats.dropped, 0);
+        let (chaos_alarms, chaos_scored) = run_hardened(&lake, &registry, &chaotic, end);
+
+        assert_alarms_bit_identical(&clean_alarms, &chaos_alarms)?;
+        prop_assert_eq!(clean_scored, chaos_scored);
+    }
+
+    /// Crash anywhere, restore from the binary checkpoint, replay the
+    /// suffix: alarms and scored counts match the uninterrupted run bit
+    /// for bit.
+    #[test]
+    fn crash_restore_is_bit_identical(
+        events in stream_strategy(),
+        crash_frac in 0.0f64..=1.0,
+        seed in 0u64..1_000,
+    ) {
+        let lake = lake_with_dimms();
+        let registry = registry_with_model();
+        let cfg = OnlineConfig {
+            degraded_grace: SimDuration::hours(30),
+            ..OnlineConfig::default()
+        };
+        // Hostile but lossless delivery so the crash point lands inside a
+        // realistic (reordered, duplicated) sequence.
+        let (delivery, _) = inject_chaos(&events, &ChaosConfig::lossless(seed));
+        let end = SimTime::from_secs(events.last().map_or(0, |e| e.time().as_secs()))
+            + SimDuration::days(2);
+
+        // Reference: one uninterrupted run (no ingestor here — the
+        // checkpoint contract is about the predictor + feature store).
+        let ref_store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut reference =
+            OnlinePredictor::new(&lake, &ref_store, &registry, Platform::IntelPurley, cfg);
+        for e in &delivery {
+            reference.observe(e);
+        }
+        reference.finish(end);
+
+        // Crashed run: stop mid-stream, checkpoint, serialize, restore.
+        let crash_at = ((delivery.len() as f64) * crash_frac) as usize;
+        let store_a = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut first =
+            OnlinePredictor::new(&lake, &store_a, &registry, Platform::IntelPurley, cfg);
+        for e in &delivery[..crash_at] {
+            first.observe(e);
+        }
+        let wire = OnlineCheckpoint::capture(&first, &store_a).encode();
+        drop(first);
+
+        let decoded = OnlineCheckpoint::decode(&wire).expect("checkpoint must round-trip");
+        let store_b = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut resumed = decoded.restore(&lake, &store_b, &registry);
+        for e in &delivery[crash_at..] {
+            resumed.observe(e);
+        }
+        resumed.finish(end);
+
+        assert_alarms_bit_identical(reference.alarms(), resumed.alarms())?;
+        prop_assert_eq!(reference.scored(), resumed.scored());
+        prop_assert_eq!(reference.stale_rejected(), resumed.stale_rejected());
+        prop_assert_eq!(reference.watermark(), resumed.watermark());
+    }
+}
