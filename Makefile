@@ -2,11 +2,17 @@
 # access needed) via scripts/offline-test.sh when cargo can't resolve
 # the registry.
 
-.PHONY: test chaos e2e
+.PHONY: test chaos e2e ci
 
 # Unit tests for every crate (merged-crate rustc harness).
 test:
 	scripts/offline-test.sh
+
+# What CI runs: per-crate unit tests (non-zero exit if any crate is red)
+# followed by the chaos smoke at the CI recall floor.
+ci:
+	scripts/offline-test.sh
+	MIN_RECALL=0.90 scripts/chaos-smoke.sh
 
 # Hostile-telemetry smoke: chaos_e2e at three corruption rates with an
 # alarm-recall floor and a lossless bit-identity gate.

@@ -199,12 +199,51 @@ fn sample_assembly(c: &mut Criterion) {
     g.finish();
 }
 
+fn fleet_scale(c: &mut Criterion) {
+    // Sequential vs. sharded whole-fleet simulation at fixed shard and
+    // worker counts. The default fleet is deliberately modest so the group
+    // runs everywhere; set MFP_BENCH_FLEET_SCALE (a `calibrated` divisor,
+    // e.g. 50) to benchmark a bigger fleet on a real multi-core host.
+    let scale: f64 = std::env::var("MFP_BENCH_FLEET_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200.0);
+    let cfg = FleetConfig::calibrated(scale.max(1.0), 7);
+
+    let mut g = c.benchmark_group("fleet_scale");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| black_box(simulate_fleet(black_box(&cfg))))
+    });
+    for workers in [1usize, 2, 4] {
+        g.bench_function(format!("sharded_8x{workers}w"), |b| {
+            let scfg = ShardConfig::new(8, workers);
+            b.iter(|| black_box(simulate_fleet_sharded(black_box(&cfg), &scfg)))
+        });
+    }
+    // Streaming merge without materializing the result: the shape the
+    // bounded-ingest bridge sees.
+    g.bench_function("sharded_8x2w_stream", |b| {
+        let planned = ShardedFleet::plan(&cfg);
+        let scfg = ShardConfig::new(8, 2);
+        b.iter(|| {
+            let mut n = 0u64;
+            planned.run_stream(&scfg, |e| {
+                n += black_box(&e).is_ue() as u64;
+            });
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     ecc_decode,
     secded_and_rs,
     fleet_sim,
     features_and_models,
-    sample_assembly
+    sample_assembly,
+    fleet_scale
 );
 criterion_main!(benches);

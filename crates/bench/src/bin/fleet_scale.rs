@@ -1,0 +1,119 @@
+//! Fleet-scale demonstration of the sharded simulator: wall-clock scaling
+//! across worker counts with a bit-identity check against the sequential
+//! simulator on every run.
+//!
+//! `cargo run --release -p mfp-bench --bin fleet_scale -- \
+//!     [--dimms 10000] [--shards 16] [--workers 1,2,4] \
+//!     [--horizon-days 90] [--seed 23]`
+//!
+//! `--dimms` rescales the calibrated three-platform fleet proportionally,
+//! so the Table I population mix is preserved at any size. Every sharded
+//! run is verified event-by-event against the sequential baseline while
+//! the merged stream is produced — the identity check costs no extra
+//! memory beyond the baseline log that is kept for comparison.
+//!
+//! Speedup numbers are only meaningful on a multi-core host; on a single
+//! core the value of this binary is the identity check under real
+//! threading.
+
+use mfp_dram::time::SimDuration;
+use mfp_sim::config::FleetConfig;
+use mfp_sim::fleet::simulate_fleet;
+use mfp_sim::sharded::{ShardConfig, ShardedFleet};
+use std::time::Instant;
+
+/// The calibrated fleet rescaled to roughly `dimms` total DIMMs, keeping
+/// the per-platform proportions of the full-population config.
+fn fleet_of(dimms: usize, horizon_days: u64, seed: u64) -> FleetConfig {
+    let mut cfg = FleetConfig::calibrated(1.0, seed);
+    let total: usize = cfg
+        .platforms
+        .iter()
+        .map(|p| p.dimms_with_ces + p.sudden_only_dimms)
+        .sum();
+    let ratio = dimms as f64 / total as f64;
+    for pc in &mut cfg.platforms {
+        pc.dimms_with_ces = ((pc.dimms_with_ces as f64 * ratio).round() as usize).max(1);
+        pc.sudden_only_dimms = (pc.sudden_only_dimms as f64 * ratio).round() as usize;
+    }
+    cfg.horizon = SimDuration::days(horizon_days);
+    cfg
+}
+
+fn main() {
+    let mut dimms = 10_000usize;
+    let mut shards = 16usize;
+    let mut worker_counts = vec![1usize, 2, 4];
+    let mut horizon_days = 90u64;
+    let mut seed = 23u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--dimms" => dimms = value().parse().expect("--dimms takes an integer"),
+            "--shards" => shards = value().parse().expect("--shards takes an integer"),
+            "--workers" => {
+                worker_counts = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--workers takes comma-separated integers"))
+                    .collect();
+            }
+            "--horizon-days" => {
+                horizon_days = value().parse().expect("--horizon-days takes an integer");
+            }
+            "--seed" => seed = value().parse().expect("--seed takes an integer"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cfg = fleet_of(dimms, horizon_days, seed);
+    let planned = ShardedFleet::plan(&cfg);
+    println!(
+        "fleet_scale: {} dimms, {} shards, {horizon_days}-day horizon, seed {seed} ({} cores available)",
+        planned.dimm_count(),
+        shards,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+
+    let t0 = Instant::now();
+    let baseline = simulate_fleet(&cfg);
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let seq_events = baseline.log.events();
+    println!(
+        "  sequential: {:>9} events in {seq_secs:>7.2}s  (baseline)",
+        seq_events.len(),
+    );
+
+    println!("  {:<8} {:>9} {:>9} {:>8} {:>10}", "workers", "events", "secs", "speedup", "identical");
+    for &workers in &worker_counts {
+        let scfg = ShardConfig::new(shards, workers);
+        let mut idx = 0usize;
+        let mut identical = true;
+        let t = Instant::now();
+        let outcome = planned.run_stream(&scfg, |e| {
+            identical &= seq_events.get(idx) == Some(&e);
+            idx += 1;
+        });
+        let secs = t.elapsed().as_secs_f64();
+        identical &= idx == seq_events.len();
+        println!(
+            "  {workers:<8} {:>9} {secs:>9.2} {:>7.2}x {:>10}",
+            outcome.stats.merged_events,
+            seq_secs / secs,
+            identical,
+        );
+        if !identical {
+            eprintln!("FAIL: sharded stream diverged from the sequential baseline");
+            std::process::exit(1);
+        }
+    }
+    println!("all sharded runs bit-identical to the sequential baseline");
+}

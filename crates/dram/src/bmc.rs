@@ -123,6 +123,12 @@ impl BmcLog {
         self.events.iter()
     }
 
+    /// Consumes the log, returning the events in push order (callers that
+    /// need a particular ordering sort the vector themselves).
+    pub fn into_events(self) -> Vec<MemEvent> {
+        self.events
+    }
+
     /// Merges another log into this one.
     pub fn merge(&mut self, other: BmcLog) {
         self.sorted = false;

@@ -46,7 +46,10 @@ pub mod prelude {
     pub use crate::cicd::{run_pipeline, PipelineConfig, PipelineRun, StageResult};
     pub use crate::drift::{psi_report, psi_report_excluding, DriftReport};
     pub use crate::feature_store::{FeatureStore, FeatureView};
-    pub use crate::ingest::{normalize, GapRecord, IngestConfig, IngestStats, Ingestor, RejectReason};
+    pub use crate::ingest::{
+        ingest_bounded, normalize, GapRecord, IngestConfig, IngestOutput, IngestStats, Ingestor,
+        RejectReason,
+    };
     pub use crate::lake::DataLake;
     pub use crate::lifecycle::{run_lifecycle, Checkpoint, LifecycleConfig};
     pub use crate::mitigation::{evaluate_mitigation, MitigationConfig, MitigationReport};

@@ -69,11 +69,40 @@ impl FleetResult {
 }
 
 /// SplitMix64: derives independent per-DIMM seeds from the master seed.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// One planned DIMM with everything its simulation needs: the hosting
+/// platform, the generated plan and the pre-derived RNG seed.
+///
+/// The seed is a pure function of `(master_seed, platform_index,
+/// dimm_index)` — it never involves worker or shard identity, which is
+/// what makes every execution strategy (sequential, chunked threads,
+/// sharded) produce bit-identical event streams.
+pub(crate) type PlannedDimm = (Platform, DimmPlan, u64);
+
+/// Phase 1 of every fleet simulation: generate all DIMM plans
+/// sequentially (cheap) and derive each DIMM's RNG seed from the master
+/// seed. Deterministic in `cfg` alone.
+pub(crate) fn plan_fleet(cfg: &FleetConfig) -> Vec<PlannedDimm> {
+    let mut tagged: Vec<PlannedDimm> = Vec::new();
+    let mut base_server = 0u32;
+    for (pi, pc) in cfg.platforms.iter().enumerate() {
+        let mut gen_rng = StdRng::seed_from_u64(splitmix64(
+            cfg.seed ^ (0xA11C_E000 + pi as u64),
+        ));
+        let plans = generate_plans(pc, cfg.horizon, base_server, &mut gen_rng);
+        base_server += plans.len() as u32 + 1000;
+        for (di, plan) in plans.into_iter().enumerate() {
+            let seed = splitmix64(cfg.seed ^ ((pi as u64) << 32) ^ (di as u64 + 1));
+            tagged.push((pc.platform, plan, seed));
+        }
+    }
+    tagged
 }
 
 /// Runs the whole fleet simulation.
@@ -97,19 +126,7 @@ pub fn simulate_fleet_with_workers(cfg: &FleetConfig, workers: usize) -> FleetRe
     };
 
     // Phase 1: generate plans sequentially (cheap) for determinism.
-    let mut tagged: Vec<(Platform, DimmPlan, u64)> = Vec::new();
-    let mut base_server = 0u32;
-    for (pi, pc) in cfg.platforms.iter().enumerate() {
-        let mut gen_rng = StdRng::seed_from_u64(splitmix64(
-            cfg.seed ^ (0xA11C_E000 + pi as u64),
-        ));
-        let plans = generate_plans(pc, cfg.horizon, base_server, &mut gen_rng);
-        base_server += plans.len() as u32 + 1000;
-        for (di, plan) in plans.into_iter().enumerate() {
-            let seed = splitmix64(cfg.seed ^ ((pi as u64) << 32) ^ (di as u64 + 1));
-            tagged.push((pc.platform, plan, seed));
-        }
-    }
+    let tagged = plan_fleet(cfg);
 
     // Phase 2: simulate in parallel; each DIMM uses its own seeded RNG.
     let workers = workers.max(1);

@@ -38,6 +38,7 @@ pub mod fault;
 pub mod fleet;
 pub mod gen;
 pub mod ras;
+pub mod sharded;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
@@ -48,4 +49,8 @@ pub mod prelude {
     pub use crate::fleet::{simulate_fleet, DimmTruth, FleetResult};
     pub use crate::gen::DimmPlan;
     pub use crate::ras::{AdddcPolicy, AdddcState, RasAction, RasPolicy, RasReport, RasState};
+    pub use crate::sharded::{
+        simulate_fleet_sharded, ShardConfig, ShardStats, ShardedFleet, ShardedOutcome,
+        ShardedStats,
+    };
 }

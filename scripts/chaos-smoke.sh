@@ -8,14 +8,28 @@
 # registry is unreachable (air-gapped CI).
 #
 # Usage: scripts/chaos-smoke.sh [extra chaos_e2e flags ...]
+#
+# Environment:
+#   MIN_RECALL=0.7          recall floor passed to chaos_e2e (CI uses 0.90)
+#   REPORT=path             also write the sweep output to this file (the
+#                           CI job uploads it as a build artifact)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-ARGS=(--rates 0.0,0.15,0.3 --min-recall 0.7 "$@")
+ARGS=(--rates 0.0,0.15,0.3 --min-recall "${MIN_RECALL:-0.7}" "$@")
+
+run() {
+  if [ -n "${REPORT:-}" ]; then
+    "$@" | tee "$REPORT"
+  else
+    "$@"
+  fi
+}
 
 if cargo build --release -p mfp-bench --bin chaos_e2e 2>/dev/null; then
-  exec cargo run --release -p mfp-bench --bin chaos_e2e -- "${ARGS[@]}"
+  run cargo run --release -p mfp-bench --bin chaos_e2e -- "${ARGS[@]}"
+  exit $?
 fi
 
 echo "[chaos-smoke] cargo unavailable, using the offline harness" >&2
-exec "$ROOT/scripts/offline-test.sh" --bin chaos_e2e -- "${ARGS[@]}"
+run "$ROOT/scripts/offline-test.sh" --bin chaos_e2e -- "${ARGS[@]}"

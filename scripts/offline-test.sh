@@ -24,6 +24,16 @@
 #
 # Usage: scripts/offline-test.sh [test-name-filter ...]
 #        scripts/offline-test.sh --bin NAME [-- args ...]
+#
+# CI behaviour: with no filter arguments the test run is split per crate
+# (one compiled harness, one libtest invocation per `mfp_<crate>::`
+# prefix) and a pass/fail summary line is printed for each; the script
+# exits non-zero if ANY crate fails, so a red crate cannot hide behind a
+# green one. With explicit filters the single-run behaviour is kept.
+#
+# Environment:
+#   KEEP_WORK=1   keep the scratch dir (printed on exit) instead of
+#                 deleting it — for debugging failed harness builds.
 set -euo pipefail
 
 BIN=""
@@ -35,7 +45,7 @@ fi
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 WORK="$(mktemp -d /tmp/offline-test.XXXXXX)"
-trap 'rm -rf "$WORK"' EXIT
+trap 'if [ "${KEEP_WORK:-0}" = 1 ]; then echo "[offline-test] keeping work dir $WORK" >&2; else rm -rf "$WORK"; fi' EXIT
 
 # Library crates, with their directory under crates/.
 CRATES="obs dram ecc sim features tensor ml mlops core bench"
@@ -366,12 +376,44 @@ fi
 
 echo "[offline-test] compiling in $WORK ..." >&2
 rustc --edition 2021 -O --test "$WORK/main.rs" -o "$WORK/harness"
-echo "[offline-test] running tests ..." >&2
 # Two tests assert statistical thresholds on datasets drawn from the real
 # StdRng stream (GBDT ring accuracy > 0.9; a signal-free candidate losing
 # an F1 gate). Under the shim's different stream they sit on the wrong
 # side of the margin; they are covered by the cargo build, so skip here.
-"$WORK/harness" \
-  --skip mfp_ml::gbdt::tests::learns_nonlinear_boundary \
-  --skip mfp_mlops::cicd::tests::regression_is_rejected \
-  "$@"
+SKIPS=(
+  --skip mfp_ml::gbdt::tests::learns_nonlinear_boundary
+  --skip mfp_mlops::cicd::tests::regression_is_rejected
+)
+
+if [ "$#" -gt 0 ]; then
+  # Explicit filters: one run, exit status propagated by `set -e`.
+  echo "[offline-test] running tests ..." >&2
+  "$WORK/harness" "${SKIPS[@]}" "$@"
+  exit 0
+fi
+
+# CI mode: one libtest pass per crate, with a per-crate verdict and a
+# non-zero exit if any crate is red.
+failed=""
+for crate in $CRATES; do
+  echo "[offline-test] testing mfp_$crate ..." >&2
+  if "$WORK/harness" "${SKIPS[@]}" "mfp_${crate}::"; then
+    echo "[offline-test] crate mfp_$crate: PASS" >&2
+  else
+    echo "[offline-test] crate mfp_$crate: FAIL" >&2
+    failed="$failed mfp_$crate"
+  fi
+done
+
+echo "[offline-test] ---- per-crate summary ----" >&2
+for crate in $CRATES; do
+  case " $failed " in
+    *" mfp_$crate "*) echo "[offline-test] mfp_$crate: FAIL" >&2 ;;
+    *) echo "[offline-test] mfp_$crate: PASS" >&2 ;;
+  esac
+done
+if [ -n "$failed" ]; then
+  echo "[offline-test] FAILED:$failed" >&2
+  exit 1
+fi
+echo "[offline-test] all crates passed" >&2

@@ -1,0 +1,96 @@
+//! Property tests of the sharded fleet simulator: for arbitrary seeds,
+//! shard counts and worker counts the merged event stream and ground
+//! truth are bit-identical to the sequential simulator, and a clean
+//! sharded stream passes through the hardened ingestor without tripping
+//! any watermark defence (no quarantines, no rejects, no dedup hits).
+
+use mfp_dram::time::SimDuration;
+use mfp_mlops::prelude::*;
+use mfp_sim::prelude::*;
+use proptest::prelude::*;
+
+/// A tiny calibrated fleet (~150 DIMMs, 45-day horizon): large enough to
+/// exercise all three platforms and multi-shard merging, small enough to
+/// simulate dozens of times under proptest.
+fn tiny_fleet(seed: u64) -> FleetConfig {
+    let mut cfg = FleetConfig::calibrated(1500.0, seed);
+    cfg.horizon = SimDuration::days(45);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The sharded simulator is a pure execution detail: any (shards,
+    /// workers) choice reproduces the sequential oracle bit for bit.
+    #[test]
+    fn sharded_equals_sequential(
+        seed in 0u64..1_000_000,
+        shards in 1usize..=8,
+        workers in 1usize..=4,
+    ) {
+        let cfg = tiny_fleet(seed);
+        let oracle = simulate_fleet(&cfg);
+        let got = simulate_fleet_sharded(&cfg, &ShardConfig::new(shards, workers));
+        prop_assert_eq!(
+            got.log.events(),
+            oracle.log.events(),
+            "event stream must be invariant to (shards={}, workers={})",
+            shards,
+            workers
+        );
+        prop_assert_eq!(got.dimms, oracle.dimms, "ground-truth order must be invariant");
+    }
+
+    /// A clean sharded stream fed through the bounded ingest bridge never
+    /// trips the watermark defences: the k-way merge delivers events in
+    /// timestamp order, so nothing is quarantined, rejected or deduped,
+    /// and every event is released in non-decreasing time order.
+    #[test]
+    fn clean_sharded_stream_preserves_watermark_invariants(
+        seed in 0u64..1_000_000,
+        shards in 1usize..=8,
+        workers in 1usize..=4,
+        batch in 1usize..=512,
+    ) {
+        let cfg = tiny_fleet(seed);
+        let fleet = ShardedFleet::plan(&cfg);
+        let lake = DataLake::new();
+        for (id, platform, spec) in fleet.catalog() {
+            lake.register_dimm(id, platform, spec);
+        }
+
+        let mut released = 0u64;
+        let mut gaps = 0u64;
+        let mut last_time = None;
+        let mut merged = 0u64;
+        let stats = ingest_bounded(
+            &lake,
+            IngestConfig::default(),
+            2,
+            batch,
+            |emit| {
+                let outcome = fleet.run_stream(&ShardConfig::new(shards, workers), |e| emit(e));
+                merged = outcome.stats.merged_events;
+            },
+            |out| match out {
+                IngestOutput::Released(e) => {
+                    if let Some(t) = last_time {
+                        assert!(t <= e.time(), "release order must be non-decreasing");
+                    }
+                    last_time = Some(e.time());
+                    released += 1;
+                }
+                IngestOutput::Gap(_) => gaps += 1,
+            },
+        );
+
+        prop_assert_eq!(stats.quarantined, 0, "clean stream must not be quarantined");
+        prop_assert_eq!(stats.rejected, 0, "clean stream must not be rejected");
+        prop_assert_eq!(stats.duplicates, 0, "clean stream has no duplicates");
+        prop_assert_eq!(stats.received, merged, "every merged event reaches the ingestor");
+        prop_assert_eq!(stats.released, released, "stats agree with the observed releases");
+        prop_assert_eq!(released, merged, "every event is released exactly once");
+        prop_assert_eq!(gaps, 0, "a clean run detects no collection holes");
+    }
+}
