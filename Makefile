@@ -2,7 +2,7 @@
 # access needed) via scripts/offline-test.sh when cargo can't resolve
 # the registry.
 
-.PHONY: test chaos e2e ci
+.PHONY: test chaos e2e serve ci
 
 # Unit tests for every crate (merged-crate rustc harness).
 test:
@@ -22,3 +22,8 @@ chaos:
 # Happy-path MLOps end-to-end.
 e2e:
 	scripts/offline-test.sh --bin mlops_e2e
+
+# Sharded serving matrix: bit-identity gate against the sequential
+# predictor plus refreshed BENCH_serve.json / BENCH_fleet.json baselines.
+serve:
+	scripts/serve-smoke.sh

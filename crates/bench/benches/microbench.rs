@@ -237,6 +237,99 @@ fn fleet_scale(c: &mut Criterion) {
     g.finish();
 }
 
+fn online_score(c: &mut Criterion) {
+    use mfp_dram::event::MemEvent;
+    use mfp_dram::time::{SimDuration, SimTime};
+    use mfp_ml::metrics::{Confusion, Evaluation};
+    use mfp_ml::risky_ce::RiskyCePattern;
+    use mfp_mlops::prelude::*;
+
+    // Purley slice of the smoke fleet behind a promoted pattern model:
+    // the serving hot path with no training phase in the way.
+    let fleet = simulate_fleet(&FleetConfig::smoke(7));
+    let lake = DataLake::new();
+    for t in &fleet.dimms {
+        lake.register_dimm(t.id, t.platform, t.spec);
+    }
+    let registry = ModelRegistry::new();
+    let eval = Evaluation::from_confusion(
+        Confusion {
+            tp: 1,
+            fp: 0,
+            fn_: 0,
+            tn: 1,
+        },
+        0.5,
+    );
+    let mid = registry.register(
+        Algorithm::RiskyCePattern,
+        Platform::IntelPurley,
+        SimTime::ZERO,
+        eval,
+        0.5,
+        Model::RiskyCe(RiskyCePattern::default()),
+    );
+    registry.promote(mid);
+    let events: Vec<MemEvent> = fleet
+        .log
+        .events()
+        .iter()
+        .filter(|e| lake.dimm_info(e.dimm()).map(|(p, _)| p) == Some(Platform::IntelPurley))
+        .copied()
+        .collect();
+    let end = SimTime::ZERO + fleet.config.horizon + SimDuration::days(2);
+    let problem = ProblemConfig::default();
+    let th = FaultThresholds::default();
+
+    let mut g = c.benchmark_group("online_score");
+    g.sample_size(10);
+    // The sequential fold: one predictor over the whole stream. This is
+    // the series that guards the tick hot path (no per-tick clones of the
+    // active set or cached feature rows).
+    g.bench_function("sequential_observe", |b| {
+        b.iter(|| {
+            let store = FeatureStore::new(problem, th);
+            let mut p = OnlinePredictor::new(
+                &lake,
+                &store,
+                &registry,
+                Platform::IntelPurley,
+                OnlineConfig::default(),
+            );
+            for e in &events {
+                p.observe(e);
+            }
+            p.finish(end);
+            black_box(p.alarms().len())
+        })
+    });
+    // The same stream through the full pipelined engine (ingest →
+    // route → score → merge); identical alarms, threaded execution.
+    for (shards, workers) in [(4usize, 2usize), (8, 4)] {
+        g.bench_function(format!("pipeline_{shards}x{workers}w"), |b| {
+            b.iter(|| {
+                let outcome = serve_pipeline(
+                    &lake,
+                    &registry,
+                    Platform::IntelPurley,
+                    problem,
+                    th,
+                    IngestConfig::default(),
+                    &ServeConfig::new(shards, workers),
+                    end,
+                    |emit| {
+                        for e in &events {
+                            emit(*e);
+                        }
+                    },
+                );
+                black_box(outcome.alarms.len())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     ecc_decode,
@@ -244,6 +337,7 @@ criterion_group!(
     fleet_sim,
     features_and_models,
     sample_assembly,
-    fleet_scale
+    fleet_scale,
+    online_score
 );
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //!
 //! `cargo run --release -p mfp-bench --bin fleet_scale -- \
 //!     [--dimms 10000] [--shards 16] [--workers 1,2,4] \
-//!     [--horizon-days 90] [--seed 23]`
+//!     [--horizon-days 90] [--seed 23] [--out BENCH_fleet.json]`
 //!
 //! `--dimms` rescales the calibrated three-platform fleet proportionally,
 //! so the Table I population mix is preserved at any size. Every sharded
@@ -14,8 +14,11 @@
 //!
 //! Speedup numbers are only meaningful on a multi-core host; on a single
 //! core the value of this binary is the identity check under real
-//! threading.
+//! threading. With `--out` the run also writes a machine-readable
+//! baseline (JSON) recording `cores`, so a single-core CI number is
+//! never mistaken for a regression.
 
+use mfp_bench::report::baseline::{config_hash, num};
 use mfp_dram::time::SimDuration;
 use mfp_sim::config::FleetConfig;
 use mfp_sim::fleet::simulate_fleet;
@@ -46,6 +49,7 @@ fn main() {
     let mut worker_counts = vec![1usize, 2, 4];
     let mut horizon_days = 90u64;
     let mut seed = 23u64;
+    let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -67,6 +71,7 @@ fn main() {
                 horizon_days = value().parse().expect("--horizon-days takes an integer");
             }
             "--seed" => seed = value().parse().expect("--seed takes an integer"),
+            "--out" => out = Some(value()),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -76,11 +81,11 @@ fn main() {
 
     let cfg = fleet_of(dimms, horizon_days, seed);
     let planned = ShardedFleet::plan(&cfg);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "fleet_scale: {} dimms, {} shards, {horizon_days}-day horizon, seed {seed} ({} cores available)",
+        "fleet_scale: {} dimms, {} shards, {horizon_days}-day horizon, seed {seed} ({cores} cores available)",
         planned.dimm_count(),
         shards,
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
 
     let t0 = Instant::now();
@@ -93,6 +98,7 @@ fn main() {
     );
 
     println!("  {:<8} {:>9} {:>9} {:>8} {:>10}", "workers", "events", "secs", "speedup", "identical");
+    let mut rows: Vec<String> = Vec::new();
     for &workers in &worker_counts {
         let scfg = ShardConfig::new(shards, workers);
         let mut idx = 0usize;
@@ -114,6 +120,29 @@ fn main() {
             eprintln!("FAIL: sharded stream diverged from the sequential baseline");
             std::process::exit(1);
         }
+        rows.push(format!(
+            "    {{\"workers\": {workers}, \"wall_secs\": {}, \"events_per_sec\": {}, \
+             \"speedup\": {}, \"identical\": {identical}}}",
+            num(secs),
+            num(outcome.stats.merged_events as f64 / secs.max(1e-9)),
+            num(seq_secs / secs.max(1e-9)),
+        ));
+    }
+    if let Some(path) = out {
+        let json = format!(
+            "{{\n  \"bench\": \"fleet_scale\",\n  \"dimms\": {},\n  \"events\": {},\n  \
+             \"shards\": {shards},\n  \"horizon_days\": {horizon_days},\n  \"seed\": {seed},\n  \
+             \"cores\": {cores},\n  \"config_hash\": \"{}\",\n  \"baseline\": \
+             {{\"wall_secs\": {}, \"events_per_sec\": {}}},\n  \"runs\": [\n{}\n  ]\n}}\n",
+            planned.dimm_count(),
+            seq_events.len(),
+            config_hash(&format!("{cfg:?}")),
+            num(seq_secs),
+            num(seq_events.len() as f64 / seq_secs.max(1e-9)),
+            rows.join(",\n"),
+        );
+        std::fs::write(&path, &json).expect("write baseline json");
+        println!("wrote {path}");
     }
     println!("all sharded runs bit-identical to the sequential baseline");
 }

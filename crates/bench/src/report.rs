@@ -33,6 +33,36 @@ pub fn m2(x: f64) -> String {
     format!("{x:.2}")
 }
 
+/// Machine-readable perf baselines (`BENCH_*.json` at the repo root).
+///
+/// The workspace deliberately has no JSON dependency, so the scale
+/// binaries hand-roll their reports from these primitives; the config
+/// hash lets a regression be split into "config drifted" vs "code got
+/// slower".
+pub mod baseline {
+    /// FNV-1a over a config's `Debug` rendering: stable for a fixed
+    /// config, cheap, and dependency-free. Not cryptographic — it only
+    /// needs to *distinguish* configs across bench runs.
+    pub fn config_hash(debug_repr: &str) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in debug_repr.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Formats an `f64` as a JSON number (non-finite values become
+    /// `null`, which valid JSON has no number for).
+    pub fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x:.6}")
+        } else {
+            "null".to_string()
+        }
+    }
+}
+
 /// Paper reference values for side-by-side "paper vs measured" rows.
 pub mod paper {
     use super::*;
@@ -99,5 +129,21 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(pct(73.2), "73%");
         assert_eq!(m2(0.615), "0.61");
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_discriminating() {
+        let a = baseline::config_hash("FleetConfig { seed: 1 }");
+        assert_eq!(a, baseline::config_hash("FleetConfig { seed: 1 }"));
+        assert_ne!(a, baseline::config_hash("FleetConfig { seed: 2 }"));
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn json_numbers_are_always_valid() {
+        assert_eq!(baseline::num(1.5), "1.500000");
+        assert_eq!(baseline::num(f64::NAN), "null");
+        assert_eq!(baseline::num(f64::INFINITY), "null");
     }
 }

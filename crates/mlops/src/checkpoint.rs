@@ -21,6 +21,7 @@ use crate::feature_store::FeatureStore;
 use crate::lake::DataLake;
 use crate::online::{Alarm, OnlineConfig, OnlinePredictor};
 use crate::registry::ModelRegistry;
+use crate::serve::ShardedOnline;
 use bytes::{BufMut, Bytes, BytesMut};
 use mfp_dram::address::DimmId;
 use mfp_dram::bmc::{BmcLog, DecodeError};
@@ -34,6 +35,8 @@ use std::fmt;
 const MAGIC: [u8; 4] = *b"MFC1";
 /// Checkpoint wire-format version.
 const VERSION: u8 = 1;
+/// Magic bytes at the head of an encoded *sharded* checkpoint.
+const SERVE_MAGIC: [u8; 4] = *b"MFS1";
 
 /// A point-in-time snapshot of the online prediction state.
 #[derive(Debug, Clone, PartialEq)]
@@ -257,6 +260,113 @@ impl OnlineCheckpoint {
     }
 }
 
+/// A point-in-time snapshot of a sharded serving engine
+/// ([`ShardedOnline`] / `crate::serve::serve_pipeline`): one
+/// [`OnlineCheckpoint`] per shard, ordered by shard index.
+///
+/// The wire format wraps each shard's `MFC1` payload length-prefixed
+/// under an `MFS1` header, so a shard payload can be inspected (or
+/// restored alone) with the single-predictor decoder. Restoring
+/// requires the **same shard count** the snapshot was taken with —
+/// shard routing is a pure function of `(dimm, shards)`, so changing
+/// the count would re-home DIMMs away from their serialized state;
+/// [`ServeCheckpoint::restore`] asserts this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeCheckpoint {
+    /// Per-shard snapshots, index `i` belonging to shard `i`.
+    pub shards: Vec<OnlineCheckpoint>,
+}
+
+impl ServeCheckpoint {
+    /// Captures every shard of the engine (with `stores[i]` being shard
+    /// `i`'s feature store, as built by `crate::serve::make_stores`).
+    pub fn capture(engine: &ShardedOnline<'_>, stores: &[FeatureStore]) -> Self {
+        assert_eq!(
+            engine.shard_count(),
+            stores.len(),
+            "one feature store per shard"
+        );
+        ServeCheckpoint {
+            shards: engine
+                .shards
+                .iter()
+                .zip(stores)
+                .map(|(p, s)| OnlineCheckpoint::capture(p, s))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a sharded engine (refilling `stores`) from this
+    /// checkpoint. Replaying the post-checkpoint suffix yields the
+    /// alarm/score sequence of an uninterrupted run, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stores.len()` differs from the captured shard count
+    /// (see the type docs for why resharding a snapshot is unsound).
+    pub fn restore<'a>(
+        &self,
+        lake: &'a DataLake,
+        stores: &'a [FeatureStore],
+        registry: &'a ModelRegistry,
+    ) -> ShardedOnline<'a> {
+        assert_eq!(
+            self.shards.len(),
+            stores.len(),
+            "restore requires the captured shard count"
+        );
+        ShardedOnline {
+            shards: self
+                .shards
+                .iter()
+                .zip(stores)
+                .map(|(cp, store)| cp.restore(lake, store, registry))
+                .collect(),
+        }
+    }
+
+    /// Serializes the sharded checkpoint into its binary format.
+    pub fn encode(&self) -> Bytes {
+        let payloads: Vec<Bytes> = self.shards.iter().map(|cp| cp.encode()).collect();
+        let total: usize = payloads.iter().map(|p| p.len() + 8).sum();
+        let mut buf = BytesMut::with_capacity(5 + 8 + total);
+        buf.put_slice(&SERVE_MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u64(payloads.len() as u64);
+        for payload in payloads {
+            buf.put_u64(payload.len() as u64);
+            buf.put_slice(&payload);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a sharded checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on truncation, bad magic/version, or
+    /// any malformed embedded shard payload.
+    pub fn decode(data: &[u8]) -> Result<ServeCheckpoint, CheckpointError> {
+        let mut c = Cursor { data };
+        let magic = c.bytes(4)?;
+        if magic != SERVE_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = c.u8()?;
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let n = c.len()?;
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            let plen = c.len()?;
+            let payload = c.bytes(plen)?;
+            shards.push(OnlineCheckpoint::decode(payload)?);
+        }
+        Ok(ServeCheckpoint { shards })
+    }
+}
+
 fn put_dimm(buf: &mut BytesMut, d: DimmId) {
     buf.put_u32(d.server.0);
     buf.put_u8(d.slot);
@@ -460,6 +570,68 @@ mod tests {
             OnlineCheckpoint::decode(cut),
             Err(CheckpointError::Truncated)
         );
+    }
+
+    #[test]
+    fn sharded_checkpoint_roundtrips_and_rejects_garbage() {
+        use crate::serve::{make_stores, ShardedOnline};
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = [DimmId::new(1, 0), DimmId::new(2, 1), DimmId::new(3, 0)];
+        setup(&lake, &registry, &dimms);
+        let stores = make_stores(3, ProblemConfig::default(), FaultThresholds::default());
+        let mut engine = ShardedOnline::new(
+            &lake,
+            &stores,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        for e in stream(&dimms) {
+            engine.observe(&e);
+        }
+        let cp = ServeCheckpoint::capture(&engine, &stores);
+        assert_eq!(cp.shards.len(), 3);
+        let wire = cp.encode();
+        let back = ServeCheckpoint::decode(&wire).unwrap();
+        assert_eq!(back, cp, "sharded checkpoint must round-trip bit-exactly");
+
+        assert_eq!(ServeCheckpoint::decode(b"xx"), Err(CheckpointError::Truncated));
+        assert_eq!(
+            ServeCheckpoint::decode(b"XXXX\x01\x00"),
+            Err(CheckpointError::BadMagic)
+        );
+        assert_eq!(
+            ServeCheckpoint::decode(b"MFS1\x09\x00"),
+            Err(CheckpointError::BadVersion(9))
+        );
+        let cut = &wire[..wire.len() - 3];
+        assert_eq!(ServeCheckpoint::decode(cut), Err(CheckpointError::Truncated));
+        // A single-predictor payload is not a sharded checkpoint.
+        let single = cp.shards[0].encode();
+        assert_eq!(
+            ServeCheckpoint::decode(&single),
+            Err(CheckpointError::BadMagic)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "captured shard count")]
+    fn sharded_restore_rejects_a_different_shard_count() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        use crate::serve::{make_stores, ShardedOnline};
+        let stores = make_stores(2, ProblemConfig::default(), FaultThresholds::default());
+        let engine = ShardedOnline::new(
+            &lake,
+            &stores,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        let cp = ServeCheckpoint::capture(&engine, &stores);
+        let other = make_stores(4, ProblemConfig::default(), FaultThresholds::default());
+        let _ = cp.restore(&lake, &other, &registry);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`cicd`] — the deployment pipeline: integration tests, benchmark
 //!   non-regression gate, canary precision gate, automatic promotion.
 //! * [`online`] — streaming prediction with alarm voting and cooldown.
+//! * [`serve`] — the sharded, pipelined serving engine: DIMM-hash
+//!   partitioned predictors on a backpressured worker pool, bit-identical
+//!   to the sequential predictor at any shard/worker count.
 //! * [`mitigation`] — VM migration on alarms and the *measured* VIRR.
 //! * [`drift`] — PSI feature-drift detection.
 //! * [`monitor`] — dashboards, live precision/recall feedback, and the
@@ -39,10 +42,11 @@ pub mod mitigation;
 pub mod monitor;
 pub mod online;
 pub mod registry;
+pub mod serve;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
-    pub use crate::checkpoint::{CheckpointError, OnlineCheckpoint};
+    pub use crate::checkpoint::{CheckpointError, OnlineCheckpoint, ServeCheckpoint};
     pub use crate::cicd::{run_pipeline, PipelineConfig, PipelineRun, StageResult};
     pub use crate::drift::{psi_report, psi_report_excluding, DriftReport};
     pub use crate::feature_store::{FeatureStore, FeatureView};
@@ -54,6 +58,10 @@ pub mod prelude {
     pub use crate::lifecycle::{run_lifecycle, Checkpoint, LifecycleConfig};
     pub use crate::mitigation::{evaluate_mitigation, MitigationConfig, MitigationReport};
     pub use crate::monitor::{Dashboard, FeedbackLoop, MetricValue, RetrainPolicy};
-    pub use crate::online::{Alarm, OnlineConfig, OnlinePredictor};
+    pub use crate::online::{Alarm, OnlineConfig, OnlinePredictor, ScoreRecord};
     pub use crate::registry::{ModelEntry, ModelRegistry, Stage};
+    pub use crate::serve::{
+        make_stores, serve_pipeline, shard_of, ServeConfig, ServeOutcome, ServeStats,
+        ShardServeStats, ShardedOnline,
+    };
 }

@@ -10,7 +10,7 @@ use mfp_dram::event::MemEvent;
 use mfp_dram::geometry::Platform;
 use mfp_dram::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// A raised failure alarm.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -20,6 +20,19 @@ pub struct Alarm {
     /// When the alarm fired.
     pub time: SimTime,
     /// Model score at firing time.
+    pub score: f32,
+}
+
+/// One model invocation, recorded when score tracing is enabled (see
+/// [`OnlinePredictor::set_score_trace`]): the raw material for proving
+/// two serving topologies bit-identical, not just alarm-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreRecord {
+    /// The prediction tick that produced the score.
+    pub time: SimTime,
+    /// The scored DIMM.
+    pub dimm: DimmId,
+    /// Raw model output.
     pub score: f32,
 }
 
@@ -105,6 +118,9 @@ pub struct OnlinePredictor<'a> {
     /// Last successfully served feature row per DIMM, kept only when
     /// `cfg.degraded_grace > 0` (degraded-mode scoring cache).
     pub(crate) last_good: BTreeMap<DimmId, (SimTime, Vec<f32>)>,
+    /// Optional per-invocation score log (diagnostic only, not part of
+    /// the checkpointed state); `None` unless tracing was enabled.
+    pub(crate) trace: Option<Vec<ScoreRecord>>,
     metrics: OnlineMetrics,
 }
 
@@ -131,8 +147,27 @@ impl<'a> OnlinePredictor<'a> {
             scored: 0,
             stale_rejected: 0,
             last_good: BTreeMap::new(),
+            trace: None,
             metrics: OnlineMetrics::for_platform(platform),
         }
+    }
+
+    /// Turns score tracing on or off. While on, every model invocation is
+    /// appended to [`Self::score_trace`] — the evidence used to prove the
+    /// sharded serving engine produces bit-identical *scores*, not just
+    /// bit-identical alarms. Off by default; the trace grows without bound
+    /// while enabled, so leave it off in production loops.
+    pub fn set_score_trace(&mut self, on: bool) {
+        if on {
+            self.trace.get_or_insert_with(Vec::new);
+        } else {
+            self.trace = None;
+        }
+    }
+
+    /// The recorded score trace (empty unless tracing is enabled).
+    pub fn score_trace(&self) -> &[ScoreRecord] {
+        self.trace.as_deref().unwrap_or(&[])
     }
 
     /// Feeds one event; runs any due prediction ticks first. Returns
@@ -175,22 +210,33 @@ impl<'a> OnlinePredictor<'a> {
         };
         let _span = self.metrics.tick_seconds.time();
         self.metrics.ticks.incr();
-        let active: BTreeSet<DimmId> = self.store.active_dimms(now).into_iter().collect();
+        // `active_dimms` walks a BTreeMap, so the Vec is already sorted and
+        // deduplicated — membership below is a binary search, and the merged
+        // walk over (live, degraded) preserves the old set-union order
+        // without materializing the union.
+        let active = self.store.active_dimms(now);
         // Degraded mode: DIMMs whose stream went quiet keep their last
         // successfully served feature row for `degraded_grace` and stay
         // scoreable — a collector outage must not blind the predictor to
         // a module that was trending towards failure.
-        let mut candidates = active.clone();
-        if self.cfg.degraded_grace > SimDuration::ZERO {
-            let grace = self.cfg.degraded_grace;
+        let grace = self.cfg.degraded_grace;
+        let mut degraded: Vec<DimmId> = Vec::new();
+        if grace > SimDuration::ZERO {
             self.last_good.retain(|_, (t, _)| now <= *t + grace);
-            candidates.extend(self.last_good.keys().copied());
+            degraded.extend(
+                self.last_good
+                    .keys()
+                    .copied()
+                    .filter(|d| active.binary_search(d).is_err()),
+            );
         }
         // A DIMM that went quiet since the last tick produced no score, so
         // its votes are no longer consecutive — the streak must restart
         // from zero when (if) it comes back.
         let before = self.streaks.len();
-        self.streaks.retain(|d, _| candidates.contains(d));
+        let last_good = &self.last_good;
+        self.streaks
+            .retain(|d, _| active.binary_search(d).is_ok() || last_good.contains_key(d));
         self.metrics
             .streaks_reset
             .add((before - self.streaks.len()) as u64);
@@ -203,27 +249,51 @@ impl<'a> OnlinePredictor<'a> {
         self.metrics
             .entries_pruned
             .add((before - self.last_alarm.len()) as u64);
-        for dimm in candidates {
-            let row = if active.contains(&dimm) {
+        // Sorted merge of the live and degraded candidate lists (both
+        // sorted, disjoint by construction).
+        let mut live_iter = active.iter().peekable();
+        let mut degraded_iter = degraded.iter().peekable();
+        loop {
+            let live = match (live_iter.peek(), degraded_iter.peek()) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(a), Some(d)) => a < d,
+            };
+            let dimm = if live {
+                *live_iter.next().expect("peeked")
+            } else {
+                *degraded_iter.next().expect("peeked")
+            };
+            let score = if live {
                 let Some(row) = self.store.serve(self.lake, dimm, now) else {
                     continue;
                 };
-                if self.cfg.degraded_grace > SimDuration::ZERO {
-                    self.last_good.insert(dimm, (now, row.clone()));
+                let score = production.model.predict_proba(&row);
+                if grace > SimDuration::ZERO {
+                    // Move the served row into the cache — no clone.
+                    self.last_good.insert(dimm, (now, row));
                 }
-                row
+                score
             } else {
                 // Quiet DIMM inside the grace window: score the cached
-                // last-known-good row rather than a half-empty window.
+                // last-known-good row (borrowed in place) rather than a
+                // half-empty window.
                 let Some((_, row)) = self.last_good.get(&dimm) else {
                     continue;
                 };
                 self.metrics.degraded_scores.incr();
-                row.clone()
+                production.model.predict_proba(row)
             };
-            let score = production.model.predict_proba(&row);
             self.scored += 1;
             self.metrics.scores.incr();
+            if let Some(trace) = &mut self.trace {
+                trace.push(ScoreRecord {
+                    time: now,
+                    dimm,
+                    score,
+                });
+            }
             let streak = self.streaks.entry(dimm).or_insert(0);
             if score >= production.threshold {
                 *streak += 1;

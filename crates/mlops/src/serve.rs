@@ -1,0 +1,905 @@
+//! Sharded, pipelined online serving: fleet-scale prediction with the
+//! single-predictor determinism contract intact.
+//!
+//! [`OnlinePredictor`] folds one platform's event stream sequentially;
+//! at a million DIMMs that single fold is wall-clock-bound while every
+//! DIMM's state — vote streak, cooldown entry, degraded cache, rolling
+//! feature window — is independent of every other DIMM's. This module
+//! partitions that state by a **stable DIMM hash** ([`shard_of`]) into
+//! `shards` sub-predictors, each owning its own [`FeatureStore`], and
+//! drives them either synchronously ([`ShardedOnline`]) or as a
+//! backpressured pipeline on a scoped worker pool ([`serve_pipeline`]):
+//! ingest → validate → route → score → alarm, with bounded channels at
+//! every hand-off.
+//!
+//! # Determinism argument
+//!
+//! The engine inherits the bar set by `mfp_sim::sharded`: for a fixed
+//! event stream the alarms **and scores** are bit-identical to the
+//! sequential [`OnlinePredictor`] at any shard/worker count.
+//!
+//! * **Routing** is a pure function of the DIMM id ([`shard_of`], a
+//!   SplitMix64 finalizer over `(server, slot)`): no load balancing, no
+//!   arrival-order dependence, so a DIMM lives in exactly one shard for
+//!   the lifetime of the deployment.
+//! * **Per-DIMM state is closed under sharding.** A prediction tick at
+//!   time `T` scores a DIMM from its own rolling window (events `< T`)
+//!   and its own streak/cooldown entries only; `observe` runs every due
+//!   tick *before* ingesting the event that crossed it, so a shard
+//!   seeing the time-ordered subsequence of its own DIMMs executes each
+//!   tick against exactly the state the sequential fold would have had.
+//! * **Merge order.** Within one tick the sequential predictor walks
+//!   candidates in ascending `DimmId` order, so its alarm (and score)
+//!   log is sorted by `(time, dimm_id)` — and per-event `seq` never ties
+//!   because one tick scores a DIMM at most once. Each shard's log is
+//!   sorted by the same key, the key is total across shards (a DIMM has
+//!   one home), so merging shard logs by `(time, dimm_id)` reproduces
+//!   the sequential log exactly.
+//! * **Workers are grouping only.** Shard `s` is pinned to worker
+//!   `s % workers` and each worker channel is FIFO, so per-shard event
+//!   order equals release order regardless of worker count.
+//!
+//! The contract assumes the input stream is time-ordered per DIMM — the
+//! order [`Ingestor`](crate::ingest::Ingestor) releases. [`serve_pipeline`]
+//! enforces this by construction (the router consumes `ingest_bounded`);
+//! [`ShardedOnline`] trusts its caller the same way `OnlinePredictor`
+//! does, and rejects stragglers per shard with the same watermark rule.
+//!
+//! # Backpressure
+//!
+//! Producer → ingest and router → worker hops are all
+//! `sync_channel(channel_capacity)` of `batch`-sized chunks: a slow
+//! scorer blocks the router, a blocked router blocks the producer, and
+//! peak resident state is `O(workers × batch × capacity)` events on top
+//! of the per-shard windows — fleet size never enters the bound.
+
+use crate::checkpoint::{OnlineCheckpoint, ServeCheckpoint};
+use crate::ingest::{ingest_bounded, IngestConfig, IngestOutput, IngestStats};
+use crate::lake::DataLake;
+use crate::online::{Alarm, OnlineConfig, OnlinePredictor, ScoreRecord};
+use crate::registry::ModelRegistry;
+use mfp_dram::address::DimmId;
+use mfp_dram::event::MemEvent;
+use mfp_dram::geometry::Platform;
+use mfp_dram::time::SimTime;
+use crate::feature_store::FeatureStore;
+use mfp_features::fault_analysis::FaultThresholds;
+use mfp_features::labeling::ProblemConfig;
+use std::collections::BTreeMap;
+use std::sync::mpsc::sync_channel;
+use std::time::Instant;
+
+/// Stable shard assignment: a SplitMix64 finalizer over the DIMM's
+/// `(server, slot)` coordinates, reduced mod `shards`. Pure — no state,
+/// no arrival order — so the fleet partition is a function of identity
+/// alone and survives restarts and resharding-free redeploys.
+pub fn shard_of(dimm: DimmId, shards: usize) -> usize {
+    let raw = ((dimm.server.0 as u64) << 8) | dimm.slot as u64;
+    let mut z = raw.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards.max(1) as u64) as usize
+}
+
+/// Builds one [`FeatureStore`] per shard with identical configuration.
+/// The slice outlives the engine (predictors borrow their stores), so
+/// callers hold it and pass `&stores` to [`ShardedOnline::new`] /
+/// [`ServeCheckpoint::restore`].
+pub fn make_stores(
+    shards: usize,
+    problem: ProblemConfig,
+    thresholds: FaultThresholds,
+) -> Vec<FeatureStore> {
+    (0..shards.max(1))
+        .map(|_| FeatureStore::new(problem, thresholds))
+        .collect()
+}
+
+/// Execution knobs of the serving pipeline. Mirroring
+/// `mfp_sim::sharded::ShardConfig`: none of them affect alarms or
+/// scores, only throughput and memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Predictor partitions (clamped to at least 1).
+    pub shards: usize,
+    /// Scoring threads (clamped to `1..=shards`); shard `s` is pinned to
+    /// worker `s % workers`.
+    pub workers: usize,
+    /// Batches each bounded hand-off channel may hold before the sender
+    /// blocks (clamped to at least 1).
+    pub channel_capacity: usize,
+    /// Events per routed batch (clamped to at least 1).
+    pub batch: usize,
+    /// Per-shard predictor configuration.
+    pub online: OnlineConfig,
+    /// Record every model invocation into [`ServeOutcome::scores`]
+    /// (unbounded memory — testing/verification only).
+    pub record_scores: bool,
+    /// Capture a [`ServeCheckpoint`] of the final sharded state.
+    pub capture_checkpoint: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 8,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16),
+            channel_capacity: 4,
+            batch: 256,
+            online: OnlineConfig::default(),
+            record_scores: false,
+            capture_checkpoint: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with `shards` shards and `workers` workers.
+    pub fn new(shards: usize, workers: usize) -> Self {
+        ServeConfig {
+            shards,
+            workers,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// The synchronous sharded engine: `shards` independent
+/// [`OnlinePredictor`]s behind a pure hash router. This is the unit the
+/// pipeline distributes and the unit [`ServeCheckpoint`] snapshots; it
+/// is also directly useful where threads are unwanted (tests, replay).
+#[derive(Debug)]
+pub struct ShardedOnline<'a> {
+    pub(crate) shards: Vec<OnlinePredictor<'a>>,
+}
+
+impl<'a> ShardedOnline<'a> {
+    /// Creates one predictor per store in `stores` (one store per
+    /// shard — build them with [`make_stores`]).
+    pub fn new(
+        lake: &'a DataLake,
+        stores: &'a [FeatureStore],
+        registry: &'a ModelRegistry,
+        platform: Platform,
+        cfg: OnlineConfig,
+    ) -> Self {
+        assert!(!stores.is_empty(), "at least one shard store is required");
+        ShardedOnline {
+            shards: stores
+                .iter()
+                .map(|store| OnlinePredictor::new(lake, store, registry, platform, cfg))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Routes one event to its home shard; returns whether that shard's
+    /// predictor accepted it (same watermark rule as
+    /// [`OnlinePredictor::observe`]).
+    pub fn observe(&mut self, event: &MemEvent) -> bool {
+        let s = shard_of(event.dimm(), self.shards.len());
+        self.shards[s].observe(event)
+    }
+
+    /// Routes a detected collection hole to the DIMM's home shard.
+    pub fn note_gap(&mut self, dimm: DimmId) {
+        let s = shard_of(dimm, self.shards.len());
+        self.shards[s].note_gap(dimm);
+    }
+
+    /// Flushes every shard's prediction ticks up to `until`.
+    pub fn finish(&mut self, until: SimTime) {
+        for shard in &mut self.shards {
+            shard.finish(until);
+        }
+    }
+
+    /// Enables or disables score tracing on every shard.
+    pub fn set_score_trace(&mut self, on: bool) {
+        for shard in &mut self.shards {
+            shard.set_score_trace(on);
+        }
+    }
+
+    /// All alarms raised so far, merged by `(time, dimm)` — bit-identical
+    /// to the sequential predictor's alarm log for the same stream.
+    pub fn alarms(&self) -> Vec<Alarm> {
+        let mut out: Vec<Alarm> = self.shards.iter().flat_map(|s| s.alarms().iter().copied()).collect();
+        out.sort_by_key(|a| (a.time, a.dimm));
+        out
+    }
+
+    /// All recorded scores, merged by `(time, dimm)` (empty unless
+    /// tracing is on).
+    pub fn scores(&self) -> Vec<ScoreRecord> {
+        let mut out: Vec<ScoreRecord> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.score_trace().iter().copied())
+            .collect();
+        out.sort_by_key(|r| (r.time, r.dimm));
+        out
+    }
+
+    /// Total model invocations across shards.
+    pub fn scored(&self) -> u64 {
+        self.shards.iter().map(|s| s.scored()).sum()
+    }
+
+    /// Total stale rejections across shards.
+    pub fn stale_rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.stale_rejected()).sum()
+    }
+}
+
+/// Per-shard serving telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardServeStats {
+    /// Shard index, `0..shards`.
+    pub shard: usize,
+    /// Events routed to this shard.
+    pub events: u64,
+    /// Model invocations this shard ran.
+    pub scored: u64,
+    /// Alarms this shard raised.
+    pub alarms: u64,
+    /// Stale events this shard rejected.
+    pub stale_rejected: u64,
+}
+
+/// Whole-pipeline execution telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Effective shard count.
+    pub shards: usize,
+    /// Effective worker count (≤ shards).
+    pub workers: usize,
+    /// Events the router forwarded to shards.
+    pub events_routed: u64,
+    /// Collection holes the router forwarded.
+    pub gaps_routed: u64,
+    /// Median per-event `observe` latency in seconds (histogram bucket
+    /// upper bound).
+    pub p50_score_secs: f64,
+    /// 99th-percentile per-event `observe` latency in seconds.
+    pub p99_score_secs: f64,
+    /// Per-shard breakdown, ordered by shard index.
+    pub per_shard: Vec<ShardServeStats>,
+}
+
+/// Result of a pipelined serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Alarms merged by `(time, dimm)` — the sequential alarm log.
+    pub alarms: Vec<Alarm>,
+    /// Scores merged by `(time, dimm)` (empty unless
+    /// [`ServeConfig::record_scores`]).
+    pub scores: Vec<ScoreRecord>,
+    /// Total model invocations.
+    pub scored: u64,
+    /// Total stale rejections (zero for ingestor-released streams).
+    pub stale_rejected: u64,
+    /// The ingestor's lifetime counters.
+    pub ingest: IngestStats,
+    /// Execution statistics.
+    pub stats: ServeStats,
+    /// Final sharded state (only when
+    /// [`ServeConfig::capture_checkpoint`]).
+    pub checkpoint: Option<ServeCheckpoint>,
+}
+
+/// Histogram bounds for per-event serving latency: 10 ns to 178 ms,
+/// four buckets per decade. `default_latency_buckets` bottoms out at
+/// 1 µs, above a typical `observe` call, so the serving path uses this
+/// finer grid.
+pub fn score_latency_bounds() -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(30);
+    let mut decade = 1e-8;
+    while decade < 0.15 {
+        for mantissa in [1.0, 1.78, 3.16, 5.62] {
+            bounds.push(decade * mantissa);
+        }
+        decade *= 10.0;
+    }
+    bounds
+}
+
+/// One unit of routed work (shard recomputed at the receiver — the hash
+/// is cheaper than widening the wire struct).
+#[derive(Debug, Clone, Copy)]
+enum Routed {
+    Event(MemEvent),
+    Gap(DimmId),
+}
+
+impl Routed {
+    fn dimm(self) -> DimmId {
+        match self {
+            Routed::Event(e) => e.dimm(),
+            Routed::Gap(d) => d,
+        }
+    }
+}
+
+/// One shard's final state, handed back by its worker.
+struct ShardResult {
+    shard: usize,
+    alarms: Vec<Alarm>,
+    scores: Vec<ScoreRecord>,
+    events: u64,
+    scored: u64,
+    stale_rejected: u64,
+    checkpoint: Option<OnlineCheckpoint>,
+}
+
+/// Runs the full pipelined dataflow: `producer` (own thread) →
+/// [`ingest_bounded`] (validate/dedup/re-sequence, calling thread) →
+/// hash router → `workers` scoring threads owning `shards`
+/// [`OnlinePredictor`]s → deterministic `(time, dimm)` merge.
+///
+/// Alarms (and scores, when recorded) are bit-identical to feeding the
+/// same released stream through one sequential [`OnlinePredictor`],
+/// at any shard/worker count — see the module docs for the argument.
+/// Like the sequential predictor, the engine serves a single platform:
+/// route other platforms' events to their own pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use mfp_mlops::prelude::*;
+/// use mfp_dram::geometry::Platform;
+/// use mfp_dram::time::SimTime;
+/// use mfp_features::fault_analysis::FaultThresholds;
+/// use mfp_features::labeling::ProblemConfig;
+/// use mfp_mlops::serve::{serve_pipeline, ServeConfig};
+///
+/// let lake = DataLake::new();
+/// let registry = ModelRegistry::new(); // nothing promoted: no alarms
+/// let outcome = serve_pipeline(
+///     &lake,
+///     &registry,
+///     Platform::IntelPurley,
+///     ProblemConfig::default(),
+///     FaultThresholds::default(),
+///     IngestConfig::default(),
+///     &ServeConfig::new(4, 2),
+///     SimTime::from_secs(86_400),
+///     |_emit| {},
+/// );
+/// assert!(outcome.alarms.is_empty());
+/// assert_eq!(outcome.stats.shards, 4);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn serve_pipeline<P>(
+    lake: &DataLake,
+    registry: &ModelRegistry,
+    platform: Platform,
+    problem: ProblemConfig,
+    thresholds: FaultThresholds,
+    icfg: IngestConfig,
+    scfg: &ServeConfig,
+    end: SimTime,
+    producer: P,
+) -> ServeOutcome
+where
+    P: FnOnce(&mut dyn FnMut(MemEvent)) + Send,
+{
+    let span = mfp_obs::latency("serve_pipeline_seconds", &[]).time();
+    let shards = scfg.shards.max(1);
+    let workers = scfg.workers.clamp(1, shards);
+    let capacity = scfg.channel_capacity.max(1);
+    let batch = scfg.batch.max(1);
+    let stores = make_stores(shards, problem, thresholds);
+    let bounds = score_latency_bounds();
+    // One detached histogram feeds the outcome's p50/p99; the global
+    // series mirrors it for dashboards.
+    let latency = mfp_obs::Histogram::new(&bounds);
+    let global_latency = mfp_obs::histogram("serve_score_seconds", &[], &bounds);
+    let routed_counter = mfp_obs::counter("serve_events_routed", &[]);
+    let gap_counter = mfp_obs::counter("serve_gaps_routed", &[]);
+
+    let (result_tx, result_rx) = std::sync::mpsc::channel::<ShardResult>();
+    let mut ingest_stats = IngestStats::default();
+    let mut events_routed = 0u64;
+    let mut gaps_routed = 0u64;
+    std::thread::scope(|s| {
+        let mut worker_txs = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = sync_channel::<Vec<Routed>>(capacity);
+            worker_txs.push(tx);
+            let result_tx = result_tx.clone();
+            let stores = &stores;
+            let latency = latency.clone();
+            let global_latency = global_latency.clone();
+            let online = scfg.online;
+            let record_scores = scfg.record_scores;
+            let capture = scfg.capture_checkpoint;
+            s.spawn(move || {
+                // Predictors are built in-thread: shard state never
+                // crosses a thread boundary while live.
+                let mut preds: BTreeMap<usize, (OnlinePredictor<'_>, u64)> = (0..shards)
+                    .filter(|shard| shard % workers == w)
+                    .map(|shard| {
+                        let mut p =
+                            OnlinePredictor::new(lake, &stores[shard], registry, platform, online);
+                        p.set_score_trace(record_scores);
+                        (shard, (p, 0u64))
+                    })
+                    .collect();
+                for chunk in rx {
+                    for item in chunk {
+                        let shard = shard_of(item.dimm(), shards);
+                        let (pred, events) = preds.get_mut(&shard).expect("routed to home worker");
+                        match item {
+                            Routed::Event(e) => {
+                                let start = Instant::now();
+                                pred.observe(&e);
+                                let secs = start.elapsed().as_secs_f64();
+                                latency.record(secs);
+                                global_latency.record(secs);
+                                *events += 1;
+                            }
+                            Routed::Gap(d) => pred.note_gap(d),
+                        }
+                    }
+                }
+                for (shard, (mut pred, events)) in preds {
+                    pred.finish(end);
+                    let checkpoint =
+                        capture.then(|| OnlineCheckpoint::capture(&pred, &stores[shard]));
+                    let _ = result_tx.send(ShardResult {
+                        shard,
+                        scores: pred.trace.take().unwrap_or_default(),
+                        scored: pred.scored(),
+                        stale_rejected: pred.stale_rejected(),
+                        alarms: std::mem::take(&mut pred.alarms),
+                        events,
+                        checkpoint,
+                    });
+                }
+            });
+        }
+        drop(result_tx);
+
+        // Router (calling thread): consume the hardened release stream,
+        // batch per worker, block when a worker's channel is full.
+        let mut buffers: Vec<Vec<Routed>> = vec![Vec::with_capacity(batch); workers];
+        ingest_stats = ingest_bounded(lake, icfg, capacity, batch, producer, |out| {
+            let item = match out {
+                IngestOutput::Released(e) => {
+                    events_routed += 1;
+                    Routed::Event(e)
+                }
+                IngestOutput::Gap(g) => {
+                    gaps_routed += 1;
+                    Routed::Gap(g.dimm)
+                }
+            };
+            let w = shard_of(item.dimm(), shards) % workers;
+            buffers[w].push(item);
+            if buffers[w].len() >= batch {
+                let full = std::mem::replace(&mut buffers[w], Vec::with_capacity(batch));
+                let _ = worker_txs[w].send(full);
+            }
+        });
+        for (w, buf) in buffers.into_iter().enumerate() {
+            if !buf.is_empty() {
+                let _ = worker_txs[w].send(buf);
+            }
+        }
+        drop(worker_txs);
+    });
+    routed_counter.add(events_routed);
+    gap_counter.add(gaps_routed);
+
+    let mut results: Vec<ShardResult> = result_rx.into_iter().collect();
+    results.sort_by_key(|r| r.shard);
+    let mut alarms: Vec<Alarm> = results.iter().flat_map(|r| r.alarms.iter().copied()).collect();
+    alarms.sort_by_key(|a| (a.time, a.dimm));
+    let mut scores: Vec<ScoreRecord> =
+        results.iter().flat_map(|r| r.scores.iter().copied()).collect();
+    scores.sort_by_key(|r| (r.time, r.dimm));
+    let checkpoint = if scfg.capture_checkpoint {
+        Some(ServeCheckpoint {
+            shards: results
+                .iter()
+                .map(|r| r.checkpoint.clone().expect("capture enabled on every shard"))
+                .collect(),
+        })
+    } else {
+        None
+    };
+    let per_shard: Vec<ShardServeStats> = results
+        .iter()
+        .map(|r| ShardServeStats {
+            shard: r.shard,
+            events: r.events,
+            scored: r.scored,
+            alarms: r.alarms.len() as u64,
+            stale_rejected: r.stale_rejected,
+        })
+        .collect();
+    let outcome = ServeOutcome {
+        scored: results.iter().map(|r| r.scored).sum(),
+        stale_rejected: results.iter().map(|r| r.stale_rejected).sum(),
+        alarms,
+        scores,
+        ingest: ingest_stats,
+        stats: ServeStats {
+            shards,
+            workers,
+            events_routed,
+            gaps_routed,
+            p50_score_secs: latency.quantile(0.5),
+            p99_score_secs: latency.quantile(0.99),
+            per_shard,
+        },
+        checkpoint,
+    };
+    mfp_obs::counter("serve_pipeline_runs", &[]).incr();
+    mfp_obs::counter("serve_alarms_merged", &[]).add(outcome.alarms.len() as u64);
+    span.stop();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature_store::FeatureStore;
+    use mfp_dram::address::CellAddr;
+    use mfp_dram::bus::ErrorTransfer;
+    use mfp_dram::event::CeEvent;
+    use mfp_dram::spec::DimmSpec;
+    use mfp_dram::time::SimDuration;
+    use mfp_ml::metrics::{Confusion, Evaluation};
+    use mfp_ml::model::{Algorithm, Model};
+    use mfp_ml::risky_ce::RiskyCePattern;
+
+    const NDIMMS: u32 = 12;
+
+    fn risky_ce(t: u64, dimm: DimmId, flip: bool) -> MemEvent {
+        let bits: Vec<(u8, u8)> = if flip {
+            vec![(1, 20), (5, 21)]
+        } else {
+            vec![(1, 20)]
+        };
+        MemEvent::Ce(CeEvent {
+            time: SimTime::from_secs(t),
+            dimm,
+            addr: CellAddr::new(0, 0, (t / 1000) as u32 % 100, 1),
+            transfer: ErrorTransfer::from_bits(bits),
+        })
+    }
+
+    fn setup(lake: &DataLake, registry: &ModelRegistry) -> Vec<DimmId> {
+        let dimms: Vec<DimmId> = (0..NDIMMS).map(|k| DimmId::new(k, (k % 2) as u8)).collect();
+        for &id in &dimms {
+            lake.register_dimm(id, Platform::IntelPurley, DimmSpec::default());
+        }
+        let eval = Evaluation::from_confusion(
+            Confusion {
+                tp: 1,
+                fp: 0,
+                fn_: 0,
+                tn: 1,
+            },
+            0.5,
+        );
+        let mid = registry.register(
+            Algorithm::RiskyCePattern,
+            Platform::IntelPurley,
+            SimTime::ZERO,
+            eval,
+            0.5,
+            Model::RiskyCe(RiskyCePattern::default()),
+        );
+        registry.promote(mid);
+        dimms
+    }
+
+    /// A multi-DIMM stream where risky DIMMs alarm and benign ones never
+    /// do; strictly increasing timestamps.
+    fn stream(dimms: &[DimmId]) -> Vec<MemEvent> {
+        (0..30 * dimms.len() as u64)
+            .map(|k| {
+                let d = dimms[(k % dimms.len() as u64) as usize];
+                // Half the fleet carries the risky signature.
+                risky_ce(1_000 + k * 1_800, d, d.server.0 % 2 == 0)
+            })
+            .collect()
+    }
+
+    fn sequential_oracle(
+        lake: &DataLake,
+        registry: &ModelRegistry,
+        events: &[MemEvent],
+        cfg: OnlineConfig,
+        end: SimTime,
+    ) -> (Vec<Alarm>, Vec<ScoreRecord>, u64) {
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut p = OnlinePredictor::new(lake, &store, registry, Platform::IntelPurley, cfg);
+        p.set_score_trace(true);
+        for e in events {
+            p.observe(e);
+        }
+        p.finish(end);
+        (p.alarms().to_vec(), p.score_trace().to_vec(), p.scored())
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_bounds() {
+        for server in 0..200u32 {
+            for slot in 0..4u8 {
+                let d = DimmId::new(server, slot);
+                for shards in [1usize, 2, 3, 8, 64] {
+                    let s = shard_of(d, shards);
+                    assert!(s < shards);
+                    assert_eq!(s, shard_of(d, shards), "routing must be pure");
+                }
+            }
+        }
+        assert_eq!(shard_of(DimmId::new(1, 0), 0), 0, "zero shards clamps");
+    }
+
+    #[test]
+    fn shard_of_spreads_a_fleet() {
+        let shards = 8usize;
+        let mut counts = vec![0u32; shards];
+        for server in 0..4_000u32 {
+            counts[shard_of(DimmId::new(server, 0), shards)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 300,
+                "shard {s} got {c} of 4000 DIMMs — hash is badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_core_matches_sequential_for_any_shard_count() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let events = stream(&dimms);
+        let end = SimTime::from_secs(events.last().unwrap().time().as_secs()) + SimDuration::days(2);
+        let cfg = OnlineConfig {
+            degraded_grace: SimDuration::hours(12),
+            ..OnlineConfig::default()
+        };
+        let (alarms, scores, scored) = sequential_oracle(&lake, &registry, &events, cfg, end);
+        assert!(!alarms.is_empty(), "stream must alarm or the test is vacuous");
+
+        for shards in [1usize, 2, 3, 4, 8] {
+            let stores = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+            let mut engine =
+                ShardedOnline::new(&lake, &stores, &registry, Platform::IntelPurley, cfg);
+            engine.set_score_trace(true);
+            for e in &events {
+                engine.observe(e);
+            }
+            engine.finish(end);
+            assert_eq!(engine.alarms(), alarms, "alarms diverged at {shards} shards");
+            assert_eq!(engine.scores(), scores, "scores diverged at {shards} shards");
+            assert_eq!(engine.scored(), scored);
+            assert_eq!(engine.stale_rejected(), 0);
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_across_the_worker_matrix() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let events = stream(&dimms);
+        let end = SimTime::from_secs(events.last().unwrap().time().as_secs()) + SimDuration::days(2);
+        let cfg = OnlineConfig::default();
+        let (alarms, scores, scored) = sequential_oracle(&lake, &registry, &events, cfg, end);
+        assert!(!alarms.is_empty());
+
+        for (shards, workers) in [(1, 1), (2, 1), (2, 2), (4, 2), (4, 4), (8, 3)] {
+            let scfg = ServeConfig {
+                record_scores: true,
+                online: cfg,
+                batch: 7, // deliberately odd: exercise partial batches
+                ..ServeConfig::new(shards, workers)
+            };
+            let outcome = serve_pipeline(
+                &lake,
+                &registry,
+                Platform::IntelPurley,
+                ProblemConfig::default(),
+                FaultThresholds::default(),
+                IngestConfig::default(),
+                &scfg,
+                end,
+                |emit| {
+                    for e in &events {
+                        emit(*e);
+                    }
+                },
+            );
+            assert_eq!(
+                outcome.alarms, alarms,
+                "alarms diverged at {shards} shards / {workers} workers"
+            );
+            assert_eq!(
+                outcome.scores, scores,
+                "scores diverged at {shards} shards / {workers} workers"
+            );
+            assert_eq!(outcome.scored, scored);
+            assert_eq!(outcome.stale_rejected, 0);
+            assert_eq!(outcome.ingest.released, events.len() as u64);
+            assert_eq!(outcome.stats.events_routed, events.len() as u64);
+            assert_eq!(outcome.stats.shards, shards);
+            assert_eq!(outcome.stats.workers, workers.min(shards));
+            assert_eq!(outcome.stats.per_shard.len(), shards);
+            assert_eq!(
+                outcome.stats.per_shard.iter().map(|s| s.events).sum::<u64>(),
+                events.len() as u64
+            );
+            assert_eq!(
+                outcome.stats.per_shard.iter().map(|s| s.scored).sum::<u64>(),
+                scored
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_routes_gaps_to_the_home_shard() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        // Sparse risky stream with a long per-DIMM hole in the middle.
+        let mut events: Vec<MemEvent> = Vec::new();
+        for k in 0..8u64 {
+            for &d in &dimms[..4] {
+                events.push(risky_ce(10_000 + k * 3_600, d, true));
+            }
+        }
+        for k in 0..8u64 {
+            for &d in &dimms[..4] {
+                events.push(risky_ce(2_000_000 + k * 3_600, d, true));
+            }
+        }
+        events.sort_by_key(|e| e.time());
+        let end = SimTime::from_secs(2_200_000);
+        let icfg = IngestConfig {
+            gap_threshold: Some(SimDuration::days(7)),
+            ..IngestConfig::default()
+        };
+
+        // Oracle: sequential predictor fed through the same bounded
+        // ingest, gaps forwarded in release order.
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut oracle = OnlinePredictor::new(
+            &lake,
+            &store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        let stats = ingest_bounded(
+            &lake,
+            icfg,
+            4,
+            16,
+            |emit| {
+                for e in &events {
+                    emit(*e);
+                }
+            },
+            |out| match out {
+                IngestOutput::Released(e) => {
+                    oracle.observe(&e);
+                }
+                IngestOutput::Gap(g) => oracle.note_gap(g.dimm),
+            },
+        );
+        oracle.finish(end);
+        assert!(stats.gaps > 0, "the stream must contain a detectable hole");
+
+        let outcome = serve_pipeline(
+            &lake,
+            &registry,
+            Platform::IntelPurley,
+            ProblemConfig::default(),
+            FaultThresholds::default(),
+            icfg,
+            &ServeConfig::new(4, 2),
+            end,
+            |emit| {
+                for e in &events {
+                    emit(*e);
+                }
+            },
+        );
+        assert_eq!(outcome.alarms, oracle.alarms());
+        assert_eq!(outcome.stats.gaps_routed, stats.gaps);
+        assert_eq!(outcome.ingest.gaps, stats.gaps);
+    }
+
+    #[test]
+    fn pipeline_checkpoint_resumes_bit_identically() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let events = stream(&dimms);
+        let split = events.len() / 2;
+        let end = SimTime::from_secs(events.last().unwrap().time().as_secs()) + SimDuration::days(2);
+        let cfg = OnlineConfig::default();
+        let (ref_alarms, _, ref_scored) = sequential_oracle(&lake, &registry, &events, cfg, end);
+
+        // Serve the first half, checkpoint, encode to the wire.
+        let shards = 4usize;
+        let scfg = ServeConfig {
+            capture_checkpoint: true,
+            online: cfg,
+            ..ServeConfig::new(shards, 2)
+        };
+        let mid = SimTime::from_secs(events[split - 1].time().as_secs());
+        let first = serve_pipeline(
+            &lake,
+            &registry,
+            Platform::IntelPurley,
+            ProblemConfig::default(),
+            FaultThresholds::default(),
+            IngestConfig::default(),
+            &scfg,
+            mid,
+            |emit| {
+                for e in &events[..split] {
+                    emit(*e);
+                }
+            },
+        );
+        let wire = first.checkpoint.expect("capture was requested").encode();
+
+        // Restore into a synchronous engine and replay the suffix.
+        let decoded = ServeCheckpoint::decode(&wire).expect("wire round-trip");
+        let stores = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+        let mut resumed = decoded.restore(&lake, &stores, &registry);
+        for e in &events[split..] {
+            resumed.observe(e);
+        }
+        resumed.finish(end);
+        assert_eq!(resumed.alarms(), ref_alarms);
+        assert_eq!(resumed.scored(), ref_scored);
+    }
+
+    #[test]
+    fn latency_stats_are_populated() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let events = stream(&dimms);
+        let end = SimTime::from_secs(events.last().unwrap().time().as_secs());
+        let outcome = serve_pipeline(
+            &lake,
+            &registry,
+            Platform::IntelPurley,
+            ProblemConfig::default(),
+            FaultThresholds::default(),
+            IngestConfig::default(),
+            &ServeConfig::new(2, 2),
+            end,
+            |emit| {
+                for e in &events {
+                    emit(*e);
+                }
+            },
+        );
+        assert!(outcome.stats.p50_score_secs > 0.0);
+        assert!(outcome.stats.p99_score_secs >= outcome.stats.p50_score_secs);
+        let bounds = score_latency_bounds();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascend");
+    }
+}

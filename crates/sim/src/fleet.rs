@@ -108,12 +108,20 @@ pub(crate) fn plan_fleet(cfg: &FleetConfig) -> Vec<PlannedDimm> {
 /// Runs the whole fleet simulation.
 ///
 /// Deterministic in `cfg` (including `cfg.seed`); parallelism is an
-/// implementation detail. Worker count defaults to available parallelism.
+/// implementation detail. Worker count defaults to available parallelism
+/// capped at [`FleetConfig::max_auto_workers`]; the cap is reported via
+/// `mfp-obs` (`sim_fleet_workers` gauge, `sim_fleet_workers_capped`
+/// counter) so a many-core host can see it bite. Use
+/// [`simulate_fleet_with_workers`] to pick an uncapped explicit count.
 pub fn simulate_fleet(cfg: &FleetConfig) -> FleetResult {
-    let workers = std::thread::available_parallelism()
+    let available = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16);
+        .unwrap_or(4);
+    let workers = available.min(cfg.max_auto_workers.max(1));
+    mfp_obs::gauge("sim_fleet_workers", &[]).set(workers as f64);
+    if workers < available {
+        mfp_obs::counter("sim_fleet_workers_capped", &[]).incr();
+    }
     simulate_fleet_with_workers(cfg, workers)
 }
 
@@ -214,6 +222,24 @@ mod tests {
         assert_eq!(a.log.events(), b.log.events());
         assert_eq!(a.dimms.len(), b.dimms.len());
         assert!(!a.log.is_empty());
+    }
+
+    #[test]
+    fn auto_worker_cap_is_explicit_and_reported() {
+        let mut cfg = FleetConfig::smoke(42);
+        assert_eq!(cfg.max_auto_workers, 16, "documented default");
+        // Force the cap to bite regardless of the host's core count.
+        cfg.max_auto_workers = 1;
+        let capped_before = mfp_obs::global().snapshot().counter("sim_fleet_workers_capped");
+        let capped = simulate_fleet(&cfg);
+        let snap = mfp_obs::global().snapshot();
+        assert_eq!(snap.gauge("sim_fleet_workers"), Some(1.0));
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4) > 1 {
+            assert!(snap.counter("sim_fleet_workers_capped") > capped_before);
+        }
+        // The cap is an execution detail: output is unchanged.
+        let oracle = simulate_fleet_with_workers(&FleetConfig::smoke(42), 2);
+        assert_eq!(capped.log.events(), oracle.log.events());
     }
 
     #[test]

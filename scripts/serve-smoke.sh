@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Serving smoke: run the sharded online serving benchmark over a small
+# shard x worker matrix and fail the build unless every cell reproduces
+# the sequential predictor's alarm log bit for bit (serve_scale exits
+# non-zero on the first divergent cell). Also refreshes the sharded
+# simulator baseline. Both runs write machine-readable BENCH_*.json
+# reports that the CI job uploads as artifacts.
+#
+# Prefers cargo; falls back to the offline rustc harness when the
+# registry is unreachable (air-gapped CI).
+#
+# Usage: scripts/serve-smoke.sh [extra serve_scale flags ...]
+#
+# Environment:
+#   DIMMS=4000              serving fleet size (Purley sub-population)
+#   MATRIX=1x1,2x2,4x2,8x4  shard x worker cells to verify
+#   SERVE_OUT=BENCH_serve.json   serving baseline path
+#   FLEET_OUT=BENCH_fleet.json   simulator baseline path
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SERVE_ARGS=(
+  --dimms "${DIMMS:-4000}"
+  --matrix "${MATRIX:-1x1,2x2,4x2,8x4}"
+  --horizon-days 30
+  --out "${SERVE_OUT:-BENCH_serve.json}"
+  "$@"
+)
+FLEET_ARGS=(
+  --dimms 2000
+  --shards 8
+  --workers 1,2,4
+  --horizon-days 30
+  --out "${FLEET_OUT:-BENCH_fleet.json}"
+)
+
+if cargo build --release -p mfp-bench --bin serve_scale --bin fleet_scale 2>/dev/null; then
+  cargo run --release -p mfp-bench --bin serve_scale -- "${SERVE_ARGS[@]}"
+  cargo run --release -p mfp-bench --bin fleet_scale -- "${FLEET_ARGS[@]}"
+  exit $?
+fi
+
+echo "[serve-smoke] cargo unavailable, using the offline harness" >&2
+"$ROOT/scripts/offline-test.sh" --bin serve_scale -- "${SERVE_ARGS[@]}"
+"$ROOT/scripts/offline-test.sh" --bin fleet_scale -- "${FLEET_ARGS[@]}"

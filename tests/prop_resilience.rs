@@ -1,7 +1,10 @@
 //! Property tests of the hostile-telemetry path: ingestion normalization
 //! is idempotent, lossless chaos (duplicates + bounded reorder) never
-//! changes the online alarm sequence, and crash/restore from a binary
-//! checkpoint is bit-identical to an uninterrupted run.
+//! changes the online alarm sequence, crash/restore from a binary
+//! checkpoint is bit-identical to an uninterrupted run, and the sharded
+//! serving engine (`mfp_mlops::serve`) reproduces the sequential
+//! predictor — alarms and scores — at any shard count, including across
+//! its own sharded checkpoint format.
 
 use mfp_dram::address::{CellAddr, DimmId};
 use mfp_dram::bus::ErrorTransfer;
@@ -84,14 +87,52 @@ fn stream_strategy() -> impl Strategy<Value = Vec<MemEvent>> {
     )
 }
 
+/// Delivery-ordered stream -> hardened ingestion -> sharded serving;
+/// the sharded twin of [`run_hardened`], returning the merged alarm and
+/// score logs plus the scored count.
+fn run_sharded(
+    lake: &DataLake,
+    registry: &ModelRegistry,
+    delivery: &[MemEvent],
+    end: SimTime,
+    shards: usize,
+) -> (Vec<Alarm>, Vec<ScoreRecord>, u64) {
+    let stores = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+    let mut engine = ShardedOnline::new(
+        lake,
+        &stores,
+        registry,
+        Platform::IntelPurley,
+        OnlineConfig::default(),
+    );
+    engine.set_score_trace(true);
+    let mut ingestor = Ingestor::new(
+        lake,
+        IngestConfig {
+            lateness: SimDuration::hours(1),
+            ..IngestConfig::default()
+        },
+    );
+    for e in delivery {
+        for released in ingestor.push(e) {
+            engine.observe(&released);
+        }
+    }
+    for released in ingestor.flush() {
+        engine.observe(&released);
+    }
+    engine.finish(end);
+    (engine.alarms(), engine.scores(), engine.scored())
+}
+
 /// Delivery-ordered stream -> hardened ingestion -> online prediction;
-/// returns the alarm sequence and the scored count.
+/// returns the alarm sequence, the score trace and the scored count.
 fn run_hardened(
     lake: &DataLake,
     registry: &ModelRegistry,
     delivery: &[MemEvent],
     end: SimTime,
-) -> (Vec<Alarm>, u64) {
+) -> (Vec<Alarm>, Vec<ScoreRecord>, u64) {
     let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
     let mut predictor = OnlinePredictor::new(
         lake,
@@ -100,6 +141,7 @@ fn run_hardened(
         Platform::IntelPurley,
         OnlineConfig::default(),
     );
+    predictor.set_score_trace(true);
     let mut ingestor = Ingestor::new(
         lake,
         IngestConfig {
@@ -116,7 +158,11 @@ fn run_hardened(
         predictor.observe(&released);
     }
     predictor.finish(end);
-    (predictor.alarms().to_vec(), predictor.scored())
+    (
+        predictor.alarms().to_vec(),
+        predictor.score_trace().to_vec(),
+        predictor.scored(),
+    )
 }
 
 fn assert_alarms_bit_identical(
@@ -124,6 +170,19 @@ fn assert_alarms_bit_identical(
     b: &[Alarm],
 ) -> Result<(), proptest::test_runner::TestCaseError> {
     prop_assert_eq!(a.len(), b.len(), "alarm counts differ");
+    for (x, y) in a.iter().zip(b) {
+        prop_assert_eq!(x.dimm, y.dimm);
+        prop_assert_eq!(x.time, y.time);
+        prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+    }
+    Ok(())
+}
+
+fn assert_scores_bit_identical(
+    a: &[ScoreRecord],
+    b: &[ScoreRecord],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(a.len(), b.len(), "score counts differ");
     for (x, y) in a.iter().zip(b) {
         prop_assert_eq!(x.dimm, y.dimm);
         prop_assert_eq!(x.time, y.time);
@@ -166,13 +225,94 @@ proptest! {
         let end = SimTime::from_secs(events.last().map_or(0, |e| e.time().as_secs()))
             + SimDuration::days(2);
 
-        let (clean_alarms, clean_scored) = run_hardened(&lake, &registry, &events, end);
+        let (clean_alarms, clean_scores, clean_scored) =
+            run_hardened(&lake, &registry, &events, end);
         let (chaotic, stats) = inject_chaos(&events, &ChaosConfig::lossless(seed));
         prop_assert_eq!(stats.dropped, 0);
-        let (chaos_alarms, chaos_scored) = run_hardened(&lake, &registry, &chaotic, end);
+        let (chaos_alarms, chaos_scores, chaos_scored) =
+            run_hardened(&lake, &registry, &chaotic, end);
 
         assert_alarms_bit_identical(&clean_alarms, &chaos_alarms)?;
+        assert_scores_bit_identical(&clean_scores, &chaos_scores)?;
         prop_assert_eq!(clean_scored, chaos_scored);
+    }
+
+    /// Sharding is invisible: the same hardened delivery through the
+    /// DIMM-hash partitioned engine yields the sequential predictor's
+    /// alarm *and score* logs bit for bit, at any shard count — even
+    /// under lossless chaotic delivery.
+    #[test]
+    fn sharded_serving_matches_sequential(
+        events in stream_strategy(),
+        seed in 0u64..1_000,
+        shards in proptest::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let lake = lake_with_dimms();
+        let registry = registry_with_model();
+        let end = SimTime::from_secs(events.last().map_or(0, |e| e.time().as_secs()))
+            + SimDuration::days(2);
+        let (delivery, stats) = inject_chaos(&events, &ChaosConfig::lossless(seed));
+        prop_assert_eq!(stats.dropped, 0);
+
+        let (seq_alarms, seq_scores, seq_scored) =
+            run_hardened(&lake, &registry, &delivery, end);
+        let (sh_alarms, sh_scores, sh_scored) =
+            run_sharded(&lake, &registry, &delivery, end, shards);
+
+        assert_alarms_bit_identical(&seq_alarms, &sh_alarms)?;
+        assert_scores_bit_identical(&seq_scores, &sh_scores)?;
+        prop_assert_eq!(seq_scored, sh_scored);
+    }
+
+    /// Crash the sharded engine at any prefix, round-trip the sharded
+    /// checkpoint through its wire format, replay the suffix: alarms and
+    /// scored counts match the uninterrupted sequential run bit for bit.
+    /// (Time-ordered delivery: the serving contract — per-shard
+    /// watermarks only match the global one when no event is stale.)
+    #[test]
+    fn sharded_crash_restore_is_bit_identical(
+        events in stream_strategy(),
+        crash_frac in 0.0f64..=1.0,
+        shards in proptest::sample::select(vec![1usize, 2, 4]),
+    ) {
+        let lake = lake_with_dimms();
+        let registry = registry_with_model();
+        let cfg = OnlineConfig::default();
+        let end = SimTime::from_secs(events.last().map_or(0, |e| e.time().as_secs()))
+            + SimDuration::days(2);
+
+        // Reference: one uninterrupted sequential predictor.
+        let ref_store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut reference =
+            OnlinePredictor::new(&lake, &ref_store, &registry, Platform::IntelPurley, cfg);
+        for e in &events {
+            reference.observe(e);
+        }
+        reference.finish(end);
+
+        // Crashed sharded run: stop mid-stream, capture every shard,
+        // serialize, restore into fresh stores, replay the suffix.
+        let crash_at = ((events.len() as f64) * crash_frac) as usize;
+        let stores_a = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+        let mut first =
+            ShardedOnline::new(&lake, &stores_a, &registry, Platform::IntelPurley, cfg);
+        for e in &events[..crash_at] {
+            first.observe(e);
+        }
+        let wire = ServeCheckpoint::capture(&first, &stores_a).encode();
+        drop(first);
+
+        let decoded = ServeCheckpoint::decode(&wire).expect("sharded checkpoint round-trip");
+        let stores_b = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+        let mut resumed = decoded.restore(&lake, &stores_b, &registry);
+        for e in &events[crash_at..] {
+            resumed.observe(e);
+        }
+        resumed.finish(end);
+
+        assert_alarms_bit_identical(reference.alarms(), &resumed.alarms())?;
+        prop_assert_eq!(reference.scored(), resumed.scored());
+        prop_assert_eq!(reference.stale_rejected(), resumed.stale_rejected());
     }
 
     /// Crash anywhere, restore from the binary checkpoint, replay the
