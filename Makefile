@@ -2,7 +2,7 @@
 # access needed) via scripts/offline-test.sh when cargo can't resolve
 # the registry.
 
-.PHONY: test chaos e2e serve ci
+.PHONY: test chaos e2e serve wal ci
 
 # Unit tests for every crate (merged-crate rustc harness).
 test:
@@ -27,3 +27,9 @@ e2e:
 # predictor plus refreshed BENCH_serve.json / BENCH_fleet.json baselines.
 serve:
 	scripts/serve-smoke.sh
+
+# Durability gate: crash the write-ahead log at sampled byte offsets and
+# require recovery + resume to reproduce the uncrashed alarm log bit for
+# bit; refreshes the BENCH_wal.json baseline.
+wal:
+	scripts/wal-smoke.sh

@@ -33,10 +33,42 @@ use std::fmt;
 
 /// Magic bytes at the head of an encoded checkpoint.
 const MAGIC: [u8; 4] = *b"MFC1";
-/// Checkpoint wire-format version.
-const VERSION: u8 = 1;
+/// Checkpoint wire-format version. v2 appended a trailing CRC32 so a
+/// torn or bit-flipped payload is *detected* instead of silently
+/// restoring perturbed state (the recovery invariant depends on it).
+const VERSION: u8 = 2;
 /// Magic bytes at the head of an encoded *sharded* checkpoint.
 const SERVE_MAGIC: [u8; 4] = *b"MFS1";
+
+/// Appends the payload CRC and freezes the buffer: every checkpoint wire
+/// payload is `header ++ body ++ crc32(header ++ body)`.
+fn seal(mut buf: BytesMut) -> Bytes {
+    let crc = crate::wal::crc32(&buf);
+    buf.put_u32(crc);
+    buf.freeze()
+}
+
+/// Checks magic, version and the trailing CRC32; returns the payload
+/// between the 5-byte header and the 4-byte checksum.
+fn verify_envelope<'a>(data: &'a [u8], magic: &[u8; 4]) -> Result<&'a [u8], CheckpointError> {
+    let mut c = Cursor { data };
+    if c.bytes(4)? != magic {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = c.u8()?;
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    if data.len() < 9 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, tail) = data.split_at(data.len() - 4);
+    let want = u32::from_be_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    if crate::wal::crc32(body) != want {
+        return Err(CheckpointError::BadChecksum);
+    }
+    Ok(&body[5..])
+}
 
 /// A point-in-time snapshot of the online prediction state.
 #[derive(Debug, Clone, PartialEq)]
@@ -170,25 +202,20 @@ impl OnlineCheckpoint {
             buf.put_u64(payload.len() as u64);
             buf.put_slice(&payload);
         }
-        buf.freeze()
+        seal(buf)
     }
 
     /// Deserializes a checkpoint.
     ///
     /// # Errors
     ///
-    /// Returns [`CheckpointError`] on truncation, bad magic/version, an
-    /// unknown platform index, or a malformed embedded event log.
+    /// Returns [`CheckpointError`] on truncation, bad magic/version, a
+    /// checksum mismatch (torn write or bit rot), an unknown platform
+    /// index, or a malformed embedded event log.
     pub fn decode(data: &[u8]) -> Result<OnlineCheckpoint, CheckpointError> {
-        let mut c = Cursor { data };
-        let magic = c.bytes(4)?;
-        if magic != MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        let version = c.u8()?;
-        if version != VERSION {
-            return Err(CheckpointError::BadVersion(version));
-        }
+        let mut c = Cursor {
+            data: verify_envelope(data, &MAGIC)?,
+        };
         let pidx = c.u8()?;
         let platform = *Platform::ALL
             .get(pidx as usize)
@@ -337,25 +364,19 @@ impl ServeCheckpoint {
             buf.put_u64(payload.len() as u64);
             buf.put_slice(&payload);
         }
-        buf.freeze()
+        seal(buf)
     }
 
     /// Deserializes a sharded checkpoint.
     ///
     /// # Errors
     ///
-    /// Returns [`CheckpointError`] on truncation, bad magic/version, or
-    /// any malformed embedded shard payload.
+    /// Returns [`CheckpointError`] on truncation, bad magic/version, a
+    /// checksum mismatch, or any malformed embedded shard payload.
     pub fn decode(data: &[u8]) -> Result<ServeCheckpoint, CheckpointError> {
-        let mut c = Cursor { data };
-        let magic = c.bytes(4)?;
-        if magic != SERVE_MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        let version = c.u8()?;
-        if version != VERSION {
-            return Err(CheckpointError::BadVersion(version));
-        }
+        let mut c = Cursor {
+            data: verify_envelope(data, &SERVE_MAGIC)?,
+        };
         let n = c.len()?;
         let mut shards = Vec::with_capacity(n);
         for _ in 0..n {
@@ -429,6 +450,8 @@ pub enum CheckpointError {
     BadMagic,
     /// Unsupported checkpoint version.
     BadVersion(u8),
+    /// Trailing CRC32 did not match the payload (torn write / bit rot).
+    BadChecksum,
     /// Platform index outside `Platform::ALL`.
     BadPlatform(u8),
     /// An embedded event log failed to decode.
@@ -441,6 +464,7 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
             CheckpointError::BadMagic => write!(f, "bad checkpoint magic"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::BadChecksum => write!(f, "checkpoint checksum mismatch"),
             CheckpointError::BadPlatform(p) => write!(f, "unknown platform index {p}"),
             CheckpointError::BadLog(e) => write!(f, "embedded event log: {e}"),
         }
@@ -549,8 +573,16 @@ mod tests {
             OnlineCheckpoint::decode(b"MFC1\x09\x00"),
             Err(CheckpointError::BadVersion(9))
         );
+        // v1 payloads (pre-CRC) are rejected by version, not misread.
         assert_eq!(
             OnlineCheckpoint::decode(b"MFC1\x01\x77"),
+            Err(CheckpointError::BadVersion(1))
+        );
+        // A correctly sealed envelope still rejects a bad platform index.
+        let mut sealed = b"MFC1\x02\x77".to_vec();
+        sealed.extend_from_slice(&crate::wal::crc32(&sealed).to_be_bytes());
+        assert_eq!(
+            OnlineCheckpoint::decode(&sealed),
             Err(CheckpointError::BadPlatform(0x77))
         );
         // Corrupted length field: bounded, not a huge allocation.
@@ -568,7 +600,7 @@ mod tests {
         let cut = &bytes[..bytes.len() - 4];
         assert_eq!(
             OnlineCheckpoint::decode(cut),
-            Err(CheckpointError::Truncated)
+            Err(CheckpointError::BadChecksum)
         );
     }
 
@@ -606,13 +638,89 @@ mod tests {
             Err(CheckpointError::BadVersion(9))
         );
         let cut = &wire[..wire.len() - 3];
-        assert_eq!(ServeCheckpoint::decode(cut), Err(CheckpointError::Truncated));
+        assert_eq!(ServeCheckpoint::decode(cut), Err(CheckpointError::BadChecksum));
         // A single-predictor payload is not a sharded checkpoint.
         let single = cp.shards[0].encode();
         assert_eq!(
             ServeCheckpoint::decode(&single),
             Err(CheckpointError::BadMagic)
         );
+    }
+
+    /// Builds a small but non-trivial pair of wire payloads (single and
+    /// sharded) for the torn-write sweeps below.
+    fn sweep_payloads() -> (Bytes, Bytes) {
+        use crate::serve::{make_stores, ShardedOnline};
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = [DimmId::new(1, 0), DimmId::new(2, 1)];
+        setup(&lake, &registry, &dimms);
+        let s = store();
+        let mut p = OnlinePredictor::new(
+            &lake,
+            &s,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        for e in stream(&dimms).into_iter().take(12) {
+            p.observe(&e);
+        }
+        let single = OnlineCheckpoint::capture(&p, &s).encode();
+        let stores = make_stores(2, ProblemConfig::default(), FaultThresholds::default());
+        let mut engine = ShardedOnline::new(
+            &lake,
+            &stores,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        for e in stream(&dimms).into_iter().take(12) {
+            engine.observe(&e);
+        }
+        let sharded = ServeCheckpoint::capture(&engine, &stores).encode();
+        (single, sharded)
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_is_detected() {
+        let (single, sharded) = sweep_payloads();
+        assert!(OnlineCheckpoint::decode(&single).is_ok());
+        assert!(ServeCheckpoint::decode(&sharded).is_ok());
+        for cut in 0..single.len() {
+            assert!(
+                OnlineCheckpoint::decode(&single[..cut]).is_err(),
+                "MFC1 truncated to {cut} bytes must not decode"
+            );
+        }
+        for cut in 0..sharded.len() {
+            assert!(
+                ServeCheckpoint::decode(&sharded[..cut]).is_err(),
+                "MFS1 truncated to {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_corruption_is_detected() {
+        let (single, sharded) = sweep_payloads();
+        // Every byte, one rotating bit per byte: flips in the header are
+        // caught by magic/version checks, everywhere else by the CRC.
+        for (wire, name) in [(&single, "MFC1"), (&sharded, "MFS1")] {
+            for i in 0..wire.len() {
+                let mut flipped = wire.to_vec();
+                flipped[i] ^= 1 << (i % 8);
+                let err = if *name == *"MFC1" {
+                    OnlineCheckpoint::decode(&flipped).err()
+                } else {
+                    ServeCheckpoint::decode(&flipped).err()
+                };
+                assert!(
+                    err.is_some(),
+                    "{name}: bit flip at byte {i} must not decode"
+                );
+            }
+        }
     }
 
     #[test]

@@ -370,6 +370,23 @@ pub enum IngestOutput {
     Gap(GapRecord),
 }
 
+impl IngestOutput {
+    /// The DIMM this output concerns (the event's home, or the DIMM the
+    /// hole was detected on) — what `crate::serve::shard_of` and the
+    /// WAL grouping key off.
+    pub fn dimm(&self) -> DimmId {
+        match self {
+            IngestOutput::Released(e) => e.dimm(),
+            IngestOutput::Gap(g) => g.dimm,
+        }
+    }
+
+    /// Whether this output is a collection hole rather than an event.
+    pub fn is_gap(&self) -> bool {
+        matches!(self, IngestOutput::Gap(_))
+    }
+}
+
 /// Couples an event producer to an [`Ingestor`] through a **bounded
 /// channel**, so an arbitrarily large stream (e.g. a fleet-scale
 /// [`mfp_sim::sharded`] run) is normalized in constant memory.

@@ -7,11 +7,16 @@
 use mfp_dram::address::DimmId;
 use mfp_dram::bmc::{BmcLog, DecodeError};
 use mfp_dram::event::MemEvent;
-use mfp_dram::geometry::Platform;
-use mfp_dram::spec::DimmSpec;
+use mfp_dram::geometry::{DataWidth, DeviceGeometry, Platform};
+use mfp_dram::spec::{DieProcess, DimmSpec, Frequency, Manufacturer};
 use mfp_dram::time::SimTime;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Partition key: (platform, day index).
 type PartitionKey = (Platform, u64);
@@ -49,11 +54,14 @@ impl DataLake {
     }
 
     /// Ingests already-decoded events; unknown DIMMs are rejected into the
-    /// returned count (data-quality signal for monitoring).
+    /// returned count (data-quality signal for monitoring) **and** onto
+    /// the `lake_rejected_uncataloged` counter, mirroring the per-reason
+    /// reject counters `crate::ingest::Ingestor` keeps — lake and ingest
+    /// accounting can be cross-checked on one dashboard.
     pub fn ingest(&self, events: &[MemEvent]) -> usize {
         let catalog = self.catalog.read();
         let mut parts = self.partitions.write();
-        let mut rejected = 0;
+        let mut rejected: usize = 0;
         for e in events {
             match catalog.get(&e.dimm()) {
                 Some((platform, _)) => {
@@ -64,6 +72,9 @@ impl DataLake {
                 }
                 None => rejected += 1,
             }
+        }
+        if rejected > 0 {
+            mfp_obs::counter("lake_rejected_uncataloged", &[]).add(rejected as u64);
         }
         rejected
     }
@@ -89,18 +100,24 @@ impl DataLake {
     }
 
     /// All events of one platform in `[from, to)`, time-sorted.
+    ///
+    /// An inverted range (`from > to`) is empty, and pruning walks only
+    /// the partitions that exist in the day range (a `BTreeMap::range`,
+    /// not a day-by-day loop — a query spanning to the far future used
+    /// to iterate billions of absent day keys).
     pub fn query(&self, platform: Platform, from: SimTime, to: SimTime) -> Vec<MemEvent> {
+        if from > to {
+            return Vec::new();
+        }
         let parts = self.partitions.read();
         let mut out: Vec<MemEvent> = Vec::new();
-        for day in from.as_days()..=to.as_days() {
-            if let Some(events) = parts.get(&(platform, day)) {
-                out.extend(
-                    events
-                        .iter()
-                        .filter(|e| e.time() >= from && e.time() < to)
-                        .copied(),
-                );
-            }
+        for (_, events) in parts.range((platform, from.as_days())..=(platform, to.as_days())) {
+            out.extend(
+                events
+                    .iter()
+                    .filter(|e| e.time() >= from && e.time() < to)
+                    .copied(),
+            );
         }
         out.sort_by_key(|e| e.time());
         out
@@ -115,6 +132,475 @@ impl DataLake {
             .map(|(id, (_, spec))| (*id, *spec))
             .collect()
     }
+}
+
+/// Failure on the on-disk lake path.
+#[derive(Debug)]
+pub enum LakeError {
+    /// An I/O operation failed.
+    Io(std::io::Error),
+    /// A lake file is structurally invalid (manifest/catalog corruption,
+    /// or a partition shorter than its committed length).
+    Corrupt(&'static str),
+    /// A committed partition chunk failed to decode.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for LakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LakeError::Io(e) => write!(f, "lake i/o: {e}"),
+            LakeError::Corrupt(what) => write!(f, "lake corrupt: {what}"),
+            LakeError::Decode(e) => write!(f, "lake partition decode: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LakeError {}
+
+impl From<std::io::Error> for LakeError {
+    fn from(e: std::io::Error) -> Self {
+        LakeError::Io(e)
+    }
+}
+
+impl From<DecodeError> for LakeError {
+    fn from(e: DecodeError) -> Self {
+        LakeError::Decode(e)
+    }
+}
+
+/// Magic bytes of the lake manifest file.
+const MANIFEST_MAGIC: [u8; 4] = *b"MFL1";
+/// Magic bytes of the lake catalog file.
+const CATALOG_MAGIC: [u8; 4] = *b"MFK1";
+const LAKE_VERSION: u8 = 1;
+/// Bytes per manifest entry: platform, day, committed, events, min, max.
+const MANIFEST_ENTRY_LEN: usize = 1 + 8 + 8 + 8 + 8 + 8;
+/// Bytes per catalog entry: DIMM id, platform, and the full spec.
+const CATALOG_ENTRY_LEN: usize = 4 + 1 + 1 + 11;
+
+/// Per-partition manifest state: how much of the partition file is
+/// committed (a crash mid-append leaves bytes past this point, which
+/// reopen ignores) plus the pruning statistics for `query`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ManifestEntry {
+    /// Valid bytes of the partition file; appends beyond this offset
+    /// that never made it into a manifest rewrite are torn and ignored.
+    committed_bytes: u64,
+    /// Events in the committed prefix.
+    events: u64,
+    /// Earliest event timestamp (seconds) in the committed prefix.
+    min_time: u64,
+    /// Latest event timestamp (seconds) in the committed prefix.
+    max_time: u64,
+}
+
+fn platform_index(p: Platform) -> u8 {
+    Platform::ALL.iter().position(|&q| q == p).expect("platform in ALL") as u8
+}
+
+fn encode_manifest(entries: &BTreeMap<PartitionKey, ManifestEntry>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + 8 + entries.len() * MANIFEST_ENTRY_LEN + 4);
+    out.extend_from_slice(&MANIFEST_MAGIC);
+    out.push(LAKE_VERSION);
+    out.extend_from_slice(&(entries.len() as u64).to_be_bytes());
+    for ((platform, day), e) in entries {
+        out.push(platform_index(*platform));
+        out.extend_from_slice(&day.to_be_bytes());
+        out.extend_from_slice(&e.committed_bytes.to_be_bytes());
+        out.extend_from_slice(&e.events.to_be_bytes());
+        out.extend_from_slice(&e.min_time.to_be_bytes());
+        out.extend_from_slice(&e.max_time.to_be_bytes());
+    }
+    out.extend_from_slice(&crate::wal::crc32(&out).to_be_bytes());
+    out
+}
+
+fn decode_manifest(data: &[u8]) -> Result<BTreeMap<PartitionKey, ManifestEntry>, LakeError> {
+    let body = verify_lake_envelope(data, &MANIFEST_MAGIC, "manifest")?;
+    let n = read_u64(body, 0, "manifest count")? as usize;
+    if n > body.len() {
+        return Err(LakeError::Corrupt("manifest count exceeds file"));
+    }
+    if body.len() != 8 + n * MANIFEST_ENTRY_LEN {
+        return Err(LakeError::Corrupt("manifest length mismatch"));
+    }
+    let mut entries = BTreeMap::new();
+    for i in 0..n {
+        let at = 8 + i * MANIFEST_ENTRY_LEN;
+        let platform = *Platform::ALL
+            .get(body[at] as usize)
+            .ok_or(LakeError::Corrupt("manifest platform index"))?;
+        let day = read_u64(body, at + 1, "manifest day")?;
+        entries.insert(
+            (platform, day),
+            ManifestEntry {
+                committed_bytes: read_u64(body, at + 9, "manifest committed")?,
+                events: read_u64(body, at + 17, "manifest events")?,
+                min_time: read_u64(body, at + 25, "manifest min")?,
+                max_time: read_u64(body, at + 33, "manifest max")?,
+            },
+        );
+    }
+    Ok(entries)
+}
+
+fn encode_catalog(catalog: &BTreeMap<DimmId, (Platform, DimmSpec)>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + 8 + catalog.len() * CATALOG_ENTRY_LEN + 4);
+    out.extend_from_slice(&CATALOG_MAGIC);
+    out.push(LAKE_VERSION);
+    out.extend_from_slice(&(catalog.len() as u64).to_be_bytes());
+    for (id, (platform, spec)) in catalog {
+        out.extend_from_slice(&id.server.0.to_be_bytes());
+        out.push(id.slot);
+        out.push(platform_index(*platform));
+        out.push(spec.manufacturer.index() as u8);
+        out.push(match spec.width {
+            DataWidth::X4 => 0,
+            DataWidth::X8 => 1,
+        });
+        out.push(Frequency::ALL.iter().position(|&f| f == spec.frequency).expect("freq") as u8);
+        out.push(spec.process.index() as u8);
+        out.extend_from_slice(&spec.capacity_gib.to_be_bytes());
+        out.push(spec.ranks);
+        out.push(spec.geometry.bank_groups);
+        out.push(spec.geometry.banks_per_group);
+        out.push(spec.geometry.row_bits);
+        out.push(spec.geometry.col_bits);
+    }
+    out.extend_from_slice(&crate::wal::crc32(&out).to_be_bytes());
+    out
+}
+
+fn decode_catalog(data: &[u8]) -> Result<BTreeMap<DimmId, (Platform, DimmSpec)>, LakeError> {
+    let body = verify_lake_envelope(data, &CATALOG_MAGIC, "catalog")?;
+    let n = read_u64(body, 0, "catalog count")? as usize;
+    if n > body.len() {
+        return Err(LakeError::Corrupt("catalog count exceeds file"));
+    }
+    if body.len() != 8 + n * CATALOG_ENTRY_LEN {
+        return Err(LakeError::Corrupt("catalog length mismatch"));
+    }
+    let mut catalog = BTreeMap::new();
+    for i in 0..n {
+        let at = 8 + i * CATALOG_ENTRY_LEN;
+        let e = &body[at..at + CATALOG_ENTRY_LEN];
+        let id = DimmId::new(u32::from_be_bytes([e[0], e[1], e[2], e[3]]), e[4]);
+        let platform = *Platform::ALL
+            .get(e[5] as usize)
+            .ok_or(LakeError::Corrupt("catalog platform index"))?;
+        let spec = DimmSpec {
+            manufacturer: *Manufacturer::ALL
+                .get(e[6] as usize)
+                .ok_or(LakeError::Corrupt("catalog manufacturer index"))?,
+            width: match e[7] {
+                0 => DataWidth::X4,
+                1 => DataWidth::X8,
+                _ => return Err(LakeError::Corrupt("catalog width code")),
+            },
+            frequency: *Frequency::ALL
+                .get(e[8] as usize)
+                .ok_or(LakeError::Corrupt("catalog frequency index"))?,
+            process: *DieProcess::ALL
+                .get(e[9] as usize)
+                .ok_or(LakeError::Corrupt("catalog process index"))?,
+            capacity_gib: u16::from_be_bytes([e[10], e[11]]),
+            ranks: e[12],
+            geometry: DeviceGeometry {
+                bank_groups: e[13],
+                banks_per_group: e[14],
+                row_bits: e[15],
+                col_bits: e[16],
+            },
+        };
+        catalog.insert(id, (platform, spec));
+    }
+    Ok(catalog)
+}
+
+/// Checks magic, version and the trailing CRC of a lake metadata file;
+/// returns the body between the 5-byte header and the 4-byte checksum.
+fn verify_lake_envelope<'a>(
+    data: &'a [u8],
+    magic: &[u8; 4],
+    what: &'static str,
+) -> Result<&'a [u8], LakeError> {
+    if data.len() < 9 || &data[..4] != magic || data[4] != LAKE_VERSION {
+        return Err(LakeError::Corrupt(what));
+    }
+    let (body, tail) = data.split_at(data.len() - 4);
+    if crate::wal::crc32(body) != u32::from_be_bytes([tail[0], tail[1], tail[2], tail[3]]) {
+        return Err(LakeError::Corrupt(what));
+    }
+    Ok(&body[5..])
+}
+
+fn read_u64(data: &[u8], at: usize, what: &'static str) -> Result<u64, LakeError> {
+    let bytes: [u8; 8] = data
+        .get(at..at + 8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(LakeError::Corrupt(what))?;
+    Ok(u64::from_be_bytes(bytes))
+}
+
+/// A crash-safe, log-structured [`DataLake`] under a root directory.
+///
+/// Layout:
+///
+/// ```text
+/// root/
+///   catalog.bin              MFK1: the DIMM spec catalog (atomic rewrite)
+///   manifest.bin             MFL1: per-partition committed byte counts,
+///                            event counts and time bounds (atomic rewrite)
+///   part-<platform>-<day>.log  [u32 len][BmcLog bytes] chunks, append-only
+/// ```
+///
+/// Every ingest appends encoded chunks to the affected partition files
+/// (fsynced), *then* rewrites the manifest; a crash mid-append leaves
+/// bytes past `committed_bytes` which reopen silently ignores, so the
+/// lake always reopens to its last manifest-consistent state. An
+/// in-memory [`DataLake`] mirror serves reads, and [`DiskLake::query`]
+/// consults the manifest first to prune partitions by day range and
+/// committed time bounds — the `lake_partitions_scanned` /
+/// `lake_partitions_total` counters quantify the pruning.
+#[derive(Debug)]
+pub struct DiskLake {
+    root: PathBuf,
+    mem: DataLake,
+    manifest: RwLock<BTreeMap<PartitionKey, ManifestEntry>>,
+    scanned: AtomicU64,
+    total: AtomicU64,
+}
+
+impl DiskLake {
+    /// Opens (or creates) a lake rooted at `root`, recovering the
+    /// catalog, manifest and every committed partition prefix.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or corruption in the catalog, manifest or a
+    /// committed partition region. Torn partition *appends* (bytes past
+    /// the committed length) are not errors.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, LakeError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let mem = DataLake::new();
+        match fs::read(root.join("catalog.bin")) {
+            Ok(bytes) => {
+                *mem.catalog.write() = decode_catalog(&bytes)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let manifest = match fs::read(root.join("manifest.bin")) {
+            Ok(bytes) => decode_manifest(&bytes)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(e.into()),
+        };
+        {
+            let mut parts = mem.partitions.write();
+            for (key, entry) in &manifest {
+                let data = fs::read(root.join(partition_file(*key)))?;
+                if (data.len() as u64) < entry.committed_bytes {
+                    return Err(LakeError::Corrupt("partition shorter than committed"));
+                }
+                let committed = &data[..entry.committed_bytes as usize];
+                let mut events: Vec<MemEvent> = Vec::with_capacity(entry.events as usize);
+                let mut at = 0usize;
+                while at < committed.len() {
+                    let len = committed
+                        .get(at..at + 4)
+                        .map(|s| u32::from_be_bytes([s[0], s[1], s[2], s[3]]) as usize)
+                        .ok_or(LakeError::Corrupt("partition chunk header"))?;
+                    let chunk = committed
+                        .get(at + 4..at + 4 + len)
+                        .ok_or(LakeError::Corrupt("partition chunk body"))?;
+                    events.extend_from_slice(BmcLog::decode(chunk)?.events());
+                    at += 4 + len;
+                }
+                if events.len() as u64 != entry.events {
+                    return Err(LakeError::Corrupt("partition event count mismatch"));
+                }
+                parts.insert(*key, events);
+            }
+        }
+        Ok(DiskLake {
+            root,
+            mem,
+            manifest: RwLock::new(manifest),
+            scanned: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        })
+    }
+
+    /// Builds an on-disk lake at `root` from an in-memory one — the
+    /// export half of the round-trip (`DiskLake::open` on the same root
+    /// is the import half). `root` must be empty or absent.
+    pub fn from_memory(root: impl Into<PathBuf>, src: &DataLake) -> Result<Self, LakeError> {
+        let disk = DiskLake::open(root)?;
+        if !disk.mem.is_empty() || disk.mem.catalog_len() > 0 {
+            return Err(LakeError::Corrupt("export target is not empty"));
+        }
+        for (id, (platform, spec)) in src.catalog.read().iter() {
+            disk.mem.catalog.write().insert(*id, (*platform, *spec));
+        }
+        disk.persist_catalog()?;
+        for events in src.partitions.read().values() {
+            disk.ingest(events)?;
+        }
+        Ok(disk)
+    }
+
+    /// Clones the lake's committed state into a plain in-memory
+    /// [`DataLake`] (catalog and partitions).
+    pub fn to_memory(&self) -> DataLake {
+        let out = DataLake::new();
+        *out.catalog.write() = self.mem.catalog.read().clone();
+        *out.partitions.write() = self.mem.partitions.read().clone();
+        out
+    }
+
+    /// The in-memory mirror — borrow this wherever a [`DataLake`] is
+    /// expected (feature stores, the online predictors).
+    pub fn memory(&self) -> &DataLake {
+        &self.mem
+    }
+
+    /// Registers a DIMM and durably rewrites the catalog file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure while persisting; the in-memory registration is
+    /// applied first and stands either way.
+    pub fn register_dimm(
+        &self,
+        id: DimmId,
+        platform: Platform,
+        spec: DimmSpec,
+    ) -> Result<(), LakeError> {
+        self.mem.register_dimm(id, platform, spec);
+        self.persist_catalog()
+    }
+
+    fn persist_catalog(&self) -> Result<(), LakeError> {
+        let bytes = encode_catalog(&self.mem.catalog.read());
+        Ok(atomic_write_file(&self.root.join("catalog.bin"), &bytes)?)
+    }
+
+    /// Ingests events: committed to partition files first (append +
+    /// fsync + manifest rewrite), then mirrored in memory. Returns the
+    /// uncataloged-reject count like [`DataLake::ingest`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failure; on error the manifest is not rewritten, so a partial
+    /// append is invisible after reopen.
+    pub fn ingest(&self, events: &[MemEvent]) -> Result<usize, LakeError> {
+        let append_sizes = mfp_obs::sizes("lake_partition_append_bytes", &[]);
+        let mut groups: BTreeMap<PartitionKey, Vec<MemEvent>> = BTreeMap::new();
+        {
+            let catalog = self.mem.catalog.read();
+            for e in events {
+                if let Some((platform, _)) = catalog.get(&e.dimm()) {
+                    groups.entry((*platform, e.time().as_days())).or_default().push(*e);
+                }
+            }
+        }
+        let mut manifest = self.manifest.write();
+        for (key, group) in &groups {
+            let log: BmcLog = group.iter().copied().collect();
+            let payload = log.encode();
+            let mut chunk = Vec::with_capacity(4 + payload.len());
+            chunk.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            chunk.extend_from_slice(&payload);
+            let path = self.root.join(partition_file(*key));
+            let mut file = fs::OpenOptions::new().create(true).append(true).open(&path)?;
+            file.write_all(&chunk)?;
+            file.sync_data()?;
+            append_sizes.record(chunk.len() as f64);
+            let (lo, hi) = group.iter().fold((u64::MAX, 0u64), |(lo, hi), e| {
+                let t = e.time().as_secs();
+                (lo.min(t), hi.max(t))
+            });
+            let entry = manifest.entry(*key).or_insert(ManifestEntry {
+                committed_bytes: 0,
+                events: 0,
+                min_time: u64::MAX,
+                max_time: 0,
+            });
+            entry.committed_bytes += chunk.len() as u64;
+            entry.events += group.len() as u64;
+            entry.min_time = entry.min_time.min(lo);
+            entry.max_time = entry.max_time.max(hi);
+        }
+        if !groups.is_empty() {
+            atomic_write_file(&self.root.join("manifest.bin"), &encode_manifest(&manifest))?;
+        }
+        drop(manifest);
+        Ok(self.mem.ingest(events))
+    }
+
+    /// All events of one platform in `[from, to)`, time-sorted —
+    /// identical to [`DataLake::query`] on the mirror, but partitions
+    /// are pruned through the manifest (day range plus committed
+    /// min/max time bounds) before any events are touched.
+    pub fn query(&self, platform: Platform, from: SimTime, to: SimTime) -> Vec<MemEvent> {
+        if from > to {
+            return Vec::new();
+        }
+        let manifest = self.manifest.read();
+        let total = manifest.keys().filter(|(p, _)| *p == platform).count() as u64;
+        let keys: Vec<PartitionKey> = manifest
+            .range((platform, from.as_days())..=(platform, to.as_days()))
+            .filter(|(_, e)| e.min_time < to.as_secs() && e.max_time >= from.as_secs())
+            .map(|(k, _)| *k)
+            .collect();
+        drop(manifest);
+        self.total.fetch_add(total, Ordering::Relaxed);
+        self.scanned.fetch_add(keys.len() as u64, Ordering::Relaxed);
+        mfp_obs::counter("lake_partitions_total", &[]).add(total);
+        mfp_obs::counter("lake_partitions_scanned", &[]).add(keys.len() as u64);
+        let parts = self.mem.partitions.read();
+        let mut out: Vec<MemEvent> = Vec::new();
+        for key in keys {
+            if let Some(events) = parts.get(&key) {
+                out.extend(
+                    events
+                        .iter()
+                        .filter(|e| e.time() >= from && e.time() < to)
+                        .copied(),
+                );
+            }
+        }
+        out.sort_by_key(|e| e.time());
+        out
+    }
+
+    /// `(partitions_scanned, partitions_total)` accumulated over this
+    /// handle's queries — the pruning evidence (`scanned < total` on
+    /// narrow ranges).
+    pub fn prune_stats(&self) -> (u64, u64) {
+        (
+            self.scanned.load(Ordering::Relaxed),
+            self.total.load(Ordering::Relaxed),
+        )
+    }
+}
+
+fn partition_file(key: PartitionKey) -> String {
+    format!("part-{}-{}.log", key.0.code(), key.1)
+}
+
+/// Atomic tmp-write-then-rename, shared by catalog and manifest.
+fn atomic_write_file(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -181,6 +667,205 @@ mod tests {
         assert_eq!(n, 0);
         assert_eq!(lake.len(), 2);
         assert!(lake.ingest_encoded(b"garbage").is_err());
+    }
+
+    #[test]
+    fn query_handles_inverted_and_empty_ranges() {
+        let lake = DataLake::new();
+        // Empty catalog, empty lake: any range is empty, instantly.
+        assert!(lake
+            .query(Platform::K920, SimTime::ZERO, SimTime::from_secs(u64::MAX))
+            .is_empty());
+
+        let id = DimmId::new(1, 0);
+        lake.register_dimm(id, Platform::IntelPurley, DimmSpec::default());
+        lake.ingest(&[ce(10, id), ce(100_000, id)]);
+        // Inverted range: empty, not a panic and not a scan.
+        assert!(lake
+            .query(
+                Platform::IntelPurley,
+                SimTime::from_secs(100_000),
+                SimTime::from_secs(10)
+            )
+            .is_empty());
+        // A range reaching the far future completes by walking only the
+        // partitions that exist (the old day-by-day loop iterated every
+        // absent day index up to u64::MAX / 86_400).
+        let all = lake.query(Platform::IntelPurley, SimTime::ZERO, SimTime::from_secs(u64::MAX));
+        assert_eq!(all.len(), 2);
+        // Degenerate equal endpoints: empty half-open interval.
+        assert!(lake
+            .query(
+                Platform::IntelPurley,
+                SimTime::from_secs(10),
+                SimTime::from_secs(10)
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn rejects_bump_the_lake_counter() {
+        let counter = mfp_obs::counter("lake_rejected_uncataloged", &[]);
+        let before = counter.get();
+        let lake = DataLake::new();
+        assert_eq!(lake.ingest(&[ce(10, DimmId::new(42, 0))]), 1);
+        assert!(
+            counter.get() >= before + 1,
+            "uncataloged rejects must reach telemetry"
+        );
+    }
+
+    /// A unique scratch directory per test invocation (parallel-safe).
+    fn test_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "mfp_lake_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    /// Registers a small two-platform fleet and returns the stream.
+    fn fleet(reg: &mut dyn FnMut(DimmId, Platform, DimmSpec)) -> Vec<MemEvent> {
+        let a = DimmId::new(1, 0);
+        let b = DimmId::new(2, 1);
+        let c = DimmId::new(3, 0);
+        reg(a, Platform::IntelPurley, DimmSpec::default());
+        reg(b, Platform::IntelPurley, DimmSpec::default());
+        reg(c, Platform::K920, DimmSpec::default());
+        // Three days of purley events plus one K920 straggler, plus one
+        // event for an unregistered DIMM (rejected by both lakes).
+        let mut events = Vec::new();
+        for day in 0..3u64 {
+            for k in 0..5u64 {
+                events.push(ce(day * 86_400 + 1_000 + k * 7_000, a));
+                events.push(ce(day * 86_400 + 2_000 + k * 7_000, b));
+            }
+        }
+        events.push(ce(2 * 86_400 + 50, c));
+        events.push(ce(999, DimmId::new(99, 9)));
+        events
+    }
+
+    #[test]
+    fn disk_lake_round_trips_after_reopen() {
+        let root = test_dir("roundtrip");
+        let mem = DataLake::new();
+        let disk = DiskLake::open(&root).unwrap();
+        let events = fleet(&mut |id, p, s| {
+            mem.register_dimm(id, p, s);
+            disk.register_dimm(id, p, s).unwrap();
+        });
+        let mem_rejected = mem.ingest(&events);
+        let disk_rejected = disk.ingest(&events).unwrap();
+        assert_eq!(mem_rejected, disk_rejected);
+        assert_eq!(mem_rejected, 1);
+        drop(disk); // "crash": no clean shutdown step exists or is needed
+
+        let reopened = DiskLake::open(&root).unwrap();
+        assert_eq!(reopened.memory().len(), mem.len());
+        assert_eq!(reopened.memory().catalog_len(), mem.catalog_len());
+        assert_eq!(
+            reopened.memory().dimm_info(DimmId::new(1, 0)),
+            mem.dimm_info(DimmId::new(1, 0))
+        );
+        for (from, to) in [
+            (0u64, u64::MAX),
+            (0, 86_400),
+            (86_400, 2 * 86_400),
+            (5_000, 20_000),
+            (10, 10),
+        ] {
+            for platform in [Platform::IntelPurley, Platform::K920] {
+                assert_eq!(
+                    reopened.query(platform, SimTime::from_secs(from), SimTime::from_secs(to)),
+                    mem.query(platform, SimTime::from_secs(from), SimTime::from_secs(to)),
+                    "{platform:?} [{from}, {to}) diverged after reopen"
+                );
+            }
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disk_lake_prunes_partitions_on_narrow_ranges() {
+        let root = test_dir("prune");
+        let disk = DiskLake::open(&root).unwrap();
+        let events = fleet(&mut |id, p, s| {
+            disk.register_dimm(id, p, s).unwrap();
+        });
+        disk.ingest(&events).unwrap();
+        // Narrow range: one day out of three purley partitions.
+        let hits = disk.query(
+            Platform::IntelPurley,
+            SimTime::from_secs(86_400),
+            SimTime::from_secs(2 * 86_400),
+        );
+        assert!(!hits.is_empty());
+        let (scanned, total) = disk.prune_stats();
+        assert!(
+            scanned < total,
+            "narrow query must prune: scanned {scanned} of {total}"
+        );
+        assert_eq!(scanned, 1, "one day-partition covers the range");
+        assert_eq!(total, 3, "purley holds three day-partitions");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disk_lake_ignores_torn_partition_appends() {
+        let root = test_dir("torn");
+        let disk = DiskLake::open(&root).unwrap();
+        let events = fleet(&mut |id, p, s| {
+            disk.register_dimm(id, p, s).unwrap();
+        });
+        disk.ingest(&events).unwrap();
+        let reference = disk.query(Platform::IntelPurley, SimTime::ZERO, SimTime::from_secs(u64::MAX));
+        drop(disk);
+        // Crash mid-append: garbage past the committed length of one
+        // partition file. Reopen must ignore it entirely.
+        let victim = root.join(partition_file((Platform::IntelPurley, 0)));
+        let mut f = fs::OpenOptions::new().append(true).open(&victim).unwrap();
+        f.write_all(&[0xFF; 37]).unwrap();
+        drop(f);
+        let reopened = DiskLake::open(&root).unwrap();
+        assert_eq!(
+            reopened.query(Platform::IntelPurley, SimTime::ZERO, SimTime::from_secs(u64::MAX)),
+            reference,
+            "torn append must not change committed query results"
+        );
+        // A partition truncated *below* its committed length is real
+        // corruption and must be detected, not silently served short.
+        let data = fs::read(&victim).unwrap();
+        fs::write(&victim, &data[..3]).unwrap();
+        assert!(matches!(DiskLake::open(&root), Err(LakeError::Corrupt(_))));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disk_lake_exports_an_in_memory_lake() {
+        let mem = DataLake::new();
+        let events = fleet(&mut |id, p, s| {
+            mem.register_dimm(id, p, s);
+        });
+        mem.ingest(&events);
+        let root = test_dir("export");
+        let disk = DiskLake::from_memory(&root, &mem).unwrap();
+        let back = disk.to_memory();
+        assert_eq!(back.len(), mem.len());
+        assert_eq!(back.catalog_len(), mem.catalog_len());
+        assert_eq!(
+            back.query(Platform::IntelPurley, SimTime::ZERO, SimTime::from_secs(u64::MAX)),
+            mem.query(Platform::IntelPurley, SimTime::ZERO, SimTime::from_secs(u64::MAX))
+        );
+        // Exporting onto a non-empty root is refused.
+        assert!(matches!(
+            DiskLake::from_memory(&root, &mem),
+            Err(LakeError::Corrupt(_))
+        ));
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

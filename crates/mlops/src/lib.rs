@@ -27,6 +27,9 @@
 //!   retraining policy.
 //! * [`lifecycle`] — the checkpointed orchestrator that ties monitoring,
 //!   drift and CI/CD into the paper's continuous-improvement loop.
+//! * [`wal`] — the durability layer: a checksummed write-ahead log with
+//!   checkpoint compaction and crash recovery that replays to
+//!   bit-identical alarms and scores from any torn-write offset.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +46,7 @@ pub mod monitor;
 pub mod online;
 pub mod registry;
 pub mod serve;
+pub mod wal;
 
 /// Convenient glob-import of the most used types.
 pub mod prelude {
@@ -54,14 +58,15 @@ pub mod prelude {
         ingest_bounded, normalize, GapRecord, IngestConfig, IngestOutput, IngestStats, Ingestor,
         RejectReason,
     };
-    pub use crate::lake::DataLake;
+    pub use crate::lake::{DataLake, DiskLake, LakeError};
     pub use crate::lifecycle::{run_lifecycle, Checkpoint, LifecycleConfig};
     pub use crate::mitigation::{evaluate_mitigation, MitigationConfig, MitigationReport};
     pub use crate::monitor::{Dashboard, FeedbackLoop, MetricValue, RetrainPolicy};
     pub use crate::online::{Alarm, OnlineConfig, OnlinePredictor, ScoreRecord};
     pub use crate::registry::{ModelEntry, ModelRegistry, Stage};
     pub use crate::serve::{
-        make_stores, serve_pipeline, shard_of, ServeConfig, ServeOutcome, ServeStats,
+        make_stores, serve_pipeline, shard_of, ServeConfig, ServeError, ServeOutcome, ServeStats,
         ShardServeStats, ShardedOnline,
     };
+    pub use crate::wal::{DurableConfig, DurableOnline, RecoveryReport, WalError};
 }

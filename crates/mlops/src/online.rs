@@ -353,6 +353,21 @@ impl<'a> OnlinePredictor<'a> {
         }
         self.last_good.remove(&dimm);
     }
+
+    /// Feeds one normalized ingest output — the single entry point the
+    /// WAL replays through, so live serving and crash recovery cannot
+    /// diverge on how an output maps onto predictor state. Returns
+    /// whether it was accepted ([`Self::observe`] semantics; gaps are
+    /// always accepted).
+    pub fn apply(&mut self, out: &crate::ingest::IngestOutput) -> bool {
+        match out {
+            crate::ingest::IngestOutput::Released(e) => self.observe(e),
+            crate::ingest::IngestOutput::Gap(g) => {
+                self.note_gap(g.dimm);
+                true
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -238,7 +238,62 @@ impl<'a> ShardedOnline<'a> {
     pub fn stale_rejected(&self) -> u64 {
         self.shards.iter().map(|s| s.stale_rejected()).sum()
     }
+
+    /// Routes one normalized ingest output to its home shard — the
+    /// single entry point `crate::wal` replays through, mirroring
+    /// [`OnlinePredictor::apply`]. Returns whether it was accepted.
+    pub fn apply(&mut self, out: &IngestOutput) -> bool {
+        match out {
+            IngestOutput::Released(e) => self.observe(e),
+            IngestOutput::Gap(g) => {
+                self.note_gap(g.dimm);
+                true
+            }
+        }
+    }
 }
+
+/// A non-fatal serving fault: the pipeline degrades (drops the affected
+/// work, keeps the pool running) and reports it in
+/// [`ServeOutcome::errors`] instead of aborting a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// A routed item landed on a worker that does not own its home
+    /// shard — a router/worker disagreement that previously panicked
+    /// with `expect("routed to home worker")`. The item is dropped.
+    Misrouted {
+        /// The item's DIMM.
+        dimm: DimmId,
+        /// The shard the receiving worker computed.
+        shard: usize,
+        /// The worker that received the item.
+        worker: usize,
+    },
+    /// Checkpoint capture was requested but a shard produced no
+    /// snapshot, so no coherent [`ServeCheckpoint`] exists — previously
+    /// `expect("capture enabled on every shard")`. The outcome carries
+    /// `checkpoint: None`.
+    MissingCapture {
+        /// The shard without a snapshot.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Misrouted { dimm, shard, worker } => write!(
+                f,
+                "event for dimm {dimm:?} (shard {shard}) reached worker {worker}, which does not own it"
+            ),
+            ServeError::MissingCapture { shard } => {
+                write!(f, "shard {shard} produced no checkpoint during capture")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Per-shard serving telemetry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -294,6 +349,9 @@ pub struct ServeOutcome {
     /// Final sharded state (only when
     /// [`ServeConfig::capture_checkpoint`]).
     pub checkpoint: Option<ServeCheckpoint>,
+    /// Non-fatal faults the pipeline degraded through (misroutes,
+    /// partial captures), ordered by shard. Empty on a healthy run.
+    pub errors: Vec<ServeError>,
 }
 
 /// Histogram bounds for per-event serving latency: 10 ns to 178 ms,
@@ -338,6 +396,7 @@ struct ShardResult {
     scored: u64,
     stale_rejected: u64,
     checkpoint: Option<OnlineCheckpoint>,
+    errors: Vec<ServeError>,
 }
 
 /// Runs the full pipelined dataflow: `producer` (own thread) →
@@ -434,10 +493,21 @@ where
                         (shard, (p, 0u64))
                     })
                     .collect();
+                let mut errors: Vec<ServeError> = Vec::new();
                 for chunk in rx {
                     for item in chunk {
                         let shard = shard_of(item.dimm(), shards);
-                        let (pred, events) = preds.get_mut(&shard).expect("routed to home worker");
+                        // A misroute means router and worker disagree on
+                        // the hash — drop the item and report, rather
+                        // than panicking the whole scoring pool.
+                        let Some((pred, events)) = preds.get_mut(&shard) else {
+                            errors.push(ServeError::Misrouted {
+                                dimm: item.dimm(),
+                                shard,
+                                worker: w,
+                            });
+                            continue;
+                        };
                         match item {
                             Routed::Event(e) => {
                                 let start = Instant::now();
@@ -451,6 +521,7 @@ where
                         }
                     }
                 }
+                let mut errors = Some(errors);
                 for (shard, (mut pred, events)) in preds {
                     pred.finish(end);
                     let checkpoint =
@@ -463,6 +534,9 @@ where
                         alarms: std::mem::take(&mut pred.alarms),
                         events,
                         checkpoint,
+                        // The worker's accumulated faults ride its first
+                        // shard result.
+                        errors: errors.take().unwrap_or_default(),
                     });
                 }
             });
@@ -507,16 +581,29 @@ where
     let mut scores: Vec<ScoreRecord> =
         results.iter().flat_map(|r| r.scores.iter().copied()).collect();
     scores.sort_by_key(|r| (r.time, r.dimm));
+    let mut errors: Vec<ServeError> =
+        results.iter_mut().flat_map(|r| std::mem::take(&mut r.errors)).collect();
     let checkpoint = if scfg.capture_checkpoint {
-        Some(ServeCheckpoint {
-            shards: results
-                .iter()
-                .map(|r| r.checkpoint.clone().expect("capture enabled on every shard"))
-                .collect(),
-        })
+        // A shard that produced no snapshot makes the set incoherent:
+        // degrade to `None` and report which shard, instead of aborting.
+        let mut shards_cp = Vec::with_capacity(results.len());
+        let mut complete = true;
+        for r in &results {
+            match &r.checkpoint {
+                Some(cp) => shards_cp.push(cp.clone()),
+                None => {
+                    errors.push(ServeError::MissingCapture { shard: r.shard });
+                    complete = false;
+                }
+            }
+        }
+        complete.then_some(ServeCheckpoint { shards: shards_cp })
     } else {
         None
     };
+    if !errors.is_empty() {
+        mfp_obs::counter("serve_errors", &[]).add(errors.len() as u64);
+    }
     let per_shard: Vec<ShardServeStats> = results
         .iter()
         .map(|r| ShardServeStats {
@@ -543,6 +630,7 @@ where
             per_shard,
         },
         checkpoint,
+        errors,
     };
     mfp_obs::counter("serve_pipeline_runs", &[]).incr();
     mfp_obs::counter("serve_alarms_merged", &[]).add(outcome.alarms.len() as u64);
@@ -737,6 +825,7 @@ mod tests {
             );
             assert_eq!(outcome.scored, scored);
             assert_eq!(outcome.stale_rejected, 0);
+            assert!(outcome.errors.is_empty(), "healthy run must report no faults");
             assert_eq!(outcome.ingest.released, events.len() as u64);
             assert_eq!(outcome.stats.events_routed, events.len() as u64);
             assert_eq!(outcome.stats.shards, shards);
@@ -901,5 +990,55 @@ mod tests {
         assert!(outcome.stats.p99_score_secs >= outcome.stats.p50_score_secs);
         let bounds = score_latency_bounds();
         assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascend");
+    }
+
+    #[test]
+    fn serve_errors_describe_the_fault() {
+        let misroute = ServeError::Misrouted {
+            dimm: DimmId::new(7, 1),
+            shard: 3,
+            worker: 0,
+        };
+        let text = misroute.to_string();
+        assert!(text.contains("shard 3") && text.contains("worker 0"), "{text}");
+        let partial = ServeError::MissingCapture { shard: 5 };
+        assert!(partial.to_string().contains("shard 5"));
+    }
+
+    #[test]
+    fn apply_routes_outputs_like_observe_and_note_gap() {
+        use crate::ingest::{GapRecord, IngestOutput};
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let events = stream(&dimms);
+        let end = SimTime::from_secs(events.last().unwrap().time().as_secs());
+        let stores_a = make_stores(3, ProblemConfig::default(), FaultThresholds::default());
+        let stores_b = make_stores(3, ProblemConfig::default(), FaultThresholds::default());
+        let mk = |stores| {
+            ShardedOnline::new(
+                &lake,
+                stores,
+                &registry,
+                Platform::IntelPurley,
+                OnlineConfig::default(),
+            )
+        };
+        let (mut direct, mut via_apply) = (mk(&stores_a), mk(&stores_b));
+        let gap = GapRecord {
+            dimm: dimms[0],
+            from: SimTime::from_secs(1),
+            to: SimTime::from_secs(2),
+        };
+        for e in &events {
+            direct.observe(e);
+            assert!(via_apply.apply(&IngestOutput::Released(*e)));
+        }
+        direct.note_gap(gap.dimm);
+        assert!(via_apply.apply(&IngestOutput::Gap(gap)));
+        direct.finish(end);
+        via_apply.finish(end);
+        assert_eq!(direct.alarms(), via_apply.alarms());
+        assert_eq!(direct.scored(), via_apply.scored());
     }
 }

@@ -1,0 +1,1233 @@
+//! Write-ahead logging and crash recovery for the online serving path.
+//!
+//! [`crate::checkpoint`] makes the sharded engine's state restorable, but
+//! a checkpoint alone loses every event between captures. This module
+//! closes that window: every accepted ingest output (released event or
+//! detected gap) is appended to a checksummed, length-prefixed
+//! write-ahead log **before** it mutates predictor state, and periodic
+//! compaction folds the log prefix into a [`ServeCheckpoint`] so the log
+//! stays short. Recovery is restore-latest-checkpoint + deterministic
+//! replay of the WAL tail.
+//!
+//! # Recovery invariant
+//!
+//! For a crash at *any* byte offset of the WAL file, [`DurableOnline::open`]
+//! reconstructs an engine whose state equals a fresh engine fed the first
+//! `m` canonical ingest outputs, where `m` is exactly the number of
+//! outputs in the longest valid WAL prefix (plus the checkpointed
+//! prefix). Resuming the stream from output `m` therefore yields alarms
+//! and scores **bit-identical** to an uncrashed run — the property
+//! `truncating_the_wal_anywhere_recovers_bit_identically` sweeps below
+//! and `tests/prop_wal.rs` checks on randomized streams.
+//!
+//! Two crash windows deserve a note:
+//!
+//! * **Torn appends.** A record whose checksum or length prefix does not
+//!   verify ends the valid prefix; the torn tail is measured, truncated,
+//!   and the file is re-opened for append at the cut.
+//! * **Compaction.** A checkpoint stores `applied`, the global sequence
+//!   number of the first output *not* folded into it. If a crash lands
+//!   between the checkpoint rename and the WAL reset, replay skips every
+//!   WAL output with `seq < applied` instead of double-applying it.
+//!
+//! # Wire format (`MFW1`)
+//!
+//! ```text
+//! file   := "MFW1" version:u8 record*
+//! record := kind:u8 seq:u64 len:u32 payload:[u8; len] crc32:u32
+//! ```
+//!
+//! Big endian throughout; the CRC covers `kind..payload`. `kind` 1 is a
+//! batch of released events (payload: an encoded `BmcLog`, whose stable
+//! time sort is the identity on the already-ordered run), `kind` 2 is a
+//! collection gap (server, slot, from, to). `seq` is the global sequence
+//! number of the record's first output, so a batch of `k` events covers
+//! `seq..seq+k`. Decoding is bounds-checked like `MFC1`: a corrupted
+//! length can neither over-read nor over-allocate.
+
+use crate::checkpoint::{CheckpointError, ServeCheckpoint};
+use crate::feature_store::FeatureStore;
+use crate::ingest::{GapRecord, IngestOutput};
+use crate::lake::DataLake;
+use crate::online::{Alarm, OnlineConfig, ScoreRecord};
+use crate::registry::ModelRegistry;
+use crate::serve::ShardedOnline;
+use mfp_dram::address::DimmId;
+use mfp_dram::bmc::BmcLog;
+use mfp_dram::event::MemEvent;
+use mfp_dram::geometry::Platform;
+use mfp_dram::time::SimTime;
+use std::error::Error;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes at the head of a WAL file.
+pub const WAL_MAGIC: [u8; 4] = *b"MFW1";
+/// WAL wire-format version.
+pub const WAL_VERSION: u8 = 1;
+/// Bytes of `magic ++ version` before the first record.
+const HEADER_LEN: usize = 5;
+/// Bytes of `kind ++ seq ++ len` before a record's payload.
+const RECORD_HEADER_LEN: usize = 13;
+
+/// IEEE CRC-32 (the Ethernet/zip polynomial), table-driven.
+///
+/// Shared by the WAL record format and the `MFC1`/`MFS1` checkpoint
+/// envelopes: one detection primitive for every durability payload.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The data carried by one WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalPayload {
+    /// A contiguous, time-ordered run of released events.
+    Events(Vec<MemEvent>),
+    /// One detected collection hole.
+    Gap(GapRecord),
+}
+
+/// One WAL record: a payload stamped with the global sequence number of
+/// its first output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Global output sequence number of the record's first output.
+    pub seq: u64,
+    /// The logged outputs.
+    pub payload: WalPayload,
+}
+
+impl WalRecord {
+    /// Number of ingest outputs this record expands to on replay.
+    pub fn outputs(&self) -> u64 {
+        match &self.payload {
+            WalPayload::Events(events) => events.len() as u64,
+            WalPayload::Gap(_) => 1,
+        }
+    }
+}
+
+/// Serializes one record into the `MFW1` record format.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let (kind, payload): (u8, Vec<u8>) = match &record.payload {
+        WalPayload::Events(events) => {
+            // The run is time-ordered, so BmcLog's stable sort is the
+            // identity and the trip is byte-exact.
+            let log: BmcLog = events.iter().copied().collect();
+            (1, log.encode().to_vec())
+        }
+        WalPayload::Gap(gap) => {
+            let mut p = Vec::with_capacity(21);
+            p.extend_from_slice(&gap.dimm.server.0.to_be_bytes());
+            p.push(gap.dimm.slot);
+            p.extend_from_slice(&gap.from.as_secs().to_be_bytes());
+            p.extend_from_slice(&gap.to.as_secs().to_be_bytes());
+            (2, p)
+        }
+    };
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len() + 4);
+    out.push(kind);
+    out.extend_from_slice(&record.seq.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&out).to_be_bytes());
+    out
+}
+
+/// The result of scanning a WAL file: the records of the longest valid
+/// prefix, plus how much of the file that prefix covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalContents {
+    /// Records of the valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of the valid prefix (file header included); the safe
+    /// truncation point for re-opening the file in append mode.
+    pub valid_bytes: u64,
+    /// Bytes past the valid prefix (a torn append, or garbage).
+    pub torn_bytes: u64,
+}
+
+/// Failure on the WAL/recovery path.
+#[derive(Debug)]
+pub enum WalError {
+    /// An I/O operation failed.
+    Io(std::io::Error),
+    /// The file starts with bytes that are not a (possibly torn) `MFW1`
+    /// header — this is not a WAL.
+    BadHeader,
+    /// The checkpoint file failed to decode.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o: {e}"),
+            WalError::BadHeader => write!(f, "not a MFW1 write-ahead log"),
+            WalError::Checkpoint(e) => write!(f, "wal checkpoint: {e}"),
+        }
+    }
+}
+
+impl Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for WalError {
+    fn from(e: CheckpointError) -> Self {
+        WalError::Checkpoint(e)
+    }
+}
+
+/// Scans a WAL image, returning the longest valid record prefix.
+///
+/// A record that is truncated, fails its checksum, carries an unknown
+/// kind, or whose payload does not decode ends the prefix — everything
+/// from that record's first byte on is counted as the torn tail, never
+/// replayed, and truncated by recovery. A file shorter than its own
+/// header is treated as an empty log torn mid-creation.
+///
+/// # Errors
+///
+/// [`WalError::BadHeader`] when the leading bytes mismatch the `MFW1`
+/// header (as opposed to merely being cut short).
+pub fn scan(data: &[u8]) -> Result<WalContents, WalError> {
+    let header = [WAL_MAGIC[0], WAL_MAGIC[1], WAL_MAGIC[2], WAL_MAGIC[3], WAL_VERSION];
+    if data.len() < HEADER_LEN {
+        return if header.starts_with(data) {
+            Ok(WalContents {
+                records: Vec::new(),
+                valid_bytes: 0,
+                torn_bytes: data.len() as u64,
+            })
+        } else {
+            Err(WalError::BadHeader)
+        };
+    }
+    if data[..HEADER_LEN] != header {
+        return Err(WalError::BadHeader);
+    }
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN;
+    loop {
+        let rest = &data[offset..];
+        if rest.is_empty() {
+            break;
+        }
+        let Some(record) = decode_record(rest) else {
+            break;
+        };
+        let plen = u32::from_be_bytes([rest[9], rest[10], rest[11], rest[12]]) as usize;
+        offset += RECORD_HEADER_LEN + plen + 4;
+        records.push(record);
+    }
+    Ok(WalContents {
+        records,
+        valid_bytes: offset as u64,
+        torn_bytes: (data.len() - offset) as u64,
+    })
+}
+
+/// Decodes the record at the head of `data`; `None` when it is torn,
+/// corrupt or unknown (the caller stops scanning there).
+fn decode_record(data: &[u8]) -> Option<WalRecord> {
+    if data.len() < RECORD_HEADER_LEN + 4 {
+        return None;
+    }
+    let kind = data[0];
+    let seq = u64::from_be_bytes([
+        data[1], data[2], data[3], data[4], data[5], data[6], data[7], data[8],
+    ]);
+    let plen = u32::from_be_bytes([data[9], data[10], data[11], data[12]]) as usize;
+    // Bounds check before any allocation: a corrupted length cannot
+    // over-read the buffer or reserve gigabytes.
+    let total = RECORD_HEADER_LEN.checked_add(plen)?.checked_add(4)?;
+    if data.len() < total {
+        return None;
+    }
+    let body = &data[..RECORD_HEADER_LEN + plen];
+    let crc = &data[RECORD_HEADER_LEN + plen..total];
+    if crc32(body) != u32::from_be_bytes([crc[0], crc[1], crc[2], crc[3]]) {
+        return None;
+    }
+    let payload = &body[RECORD_HEADER_LEN..];
+    match kind {
+        1 => {
+            let log = BmcLog::decode(payload).ok()?;
+            Some(WalRecord {
+                seq,
+                payload: WalPayload::Events(log.events().to_vec()),
+            })
+        }
+        2 => {
+            if payload.len() != 21 {
+                return None;
+            }
+            let server = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+            let slot = payload[4];
+            let from = u64::from_be_bytes([
+                payload[5], payload[6], payload[7], payload[8], payload[9], payload[10],
+                payload[11], payload[12],
+            ]);
+            let to = u64::from_be_bytes([
+                payload[13], payload[14], payload[15], payload[16], payload[17], payload[18],
+                payload[19], payload[20],
+            ]);
+            Some(WalRecord {
+                seq,
+                payload: WalPayload::Gap(GapRecord {
+                    dimm: DimmId::new(server, slot),
+                    from: SimTime::from_secs(from),
+                    to: SimTime::from_secs(to),
+                }),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Execution knobs of the durable engine. None of them affect alarms or
+/// scores — only how often bytes hit the disk and how long replay takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableConfig {
+    /// Outputs buffered before an automatic [`DurableOnline::flush`]
+    /// (clamped to at least 1).
+    pub batch: usize,
+    /// WAL records between compactions; `u64::MAX` disables compaction.
+    pub compact_every: u64,
+    /// `fsync` the WAL after every flush (durability against power loss
+    /// rather than just process crash; slower).
+    pub fsync: bool,
+    /// Enable score tracing on the engine from construction — before
+    /// replay — so a recovered run's trace is comparable to an uncrashed
+    /// one's (testing/verification only; the trace grows unbounded).
+    pub record_scores: bool,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            batch: 256,
+            compact_every: 64,
+            fsync: false,
+            record_scores: false,
+        }
+    }
+}
+
+/// What [`DurableOnline::open`] found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Outputs already folded into the restored checkpoint (0 without
+    /// a checkpoint file).
+    pub checkpoint_applied: u64,
+    /// Valid WAL records scanned.
+    pub wal_records: u64,
+    /// WAL outputs replayed into the engine.
+    pub outputs_replayed: u64,
+    /// WAL outputs skipped because the checkpoint already covered them
+    /// (a crash between checkpoint rename and WAL reset).
+    pub outputs_skipped: u64,
+    /// Bytes of torn tail truncated from the WAL.
+    pub torn_tail_bytes: u64,
+}
+
+/// Telemetry handles for the durability path, resolved once per engine.
+#[derive(Debug)]
+struct WalMetrics {
+    appends: mfp_obs::Counter,
+    append_bytes: mfp_obs::Histogram,
+    flushes: mfp_obs::Counter,
+    fsyncs: mfp_obs::Counter,
+    compactions: mfp_obs::Counter,
+    replay_records: mfp_obs::Counter,
+    replay_outputs: mfp_obs::Counter,
+    replay_skipped: mfp_obs::Counter,
+    torn_tails: mfp_obs::Counter,
+    flush_seconds: mfp_obs::Histogram,
+    replay_seconds: mfp_obs::Histogram,
+}
+
+impl WalMetrics {
+    fn new() -> Self {
+        WalMetrics {
+            appends: mfp_obs::counter("wal_appends", &[]),
+            append_bytes: mfp_obs::sizes("wal_append_bytes", &[]),
+            flushes: mfp_obs::counter("wal_flushes", &[]),
+            fsyncs: mfp_obs::counter("wal_fsyncs", &[]),
+            compactions: mfp_obs::counter("wal_compactions", &[]),
+            replay_records: mfp_obs::counter("wal_replay_records", &[]),
+            replay_outputs: mfp_obs::counter("wal_replay_outputs", &[]),
+            replay_skipped: mfp_obs::counter("wal_replay_skipped", &[]),
+            torn_tails: mfp_obs::counter("wal_torn_tails", &[]),
+            flush_seconds: mfp_obs::latency("wal_flush_seconds", &[]),
+            replay_seconds: mfp_obs::latency("wal_replay_seconds", &[]),
+        }
+    }
+}
+
+/// Magic bytes of the durable checkpoint container (wrapping an `MFS1`
+/// payload with the applied-output watermark).
+const CKPT_MAGIC: [u8; 4] = *b"MFD1";
+const CKPT_VERSION: u8 = 1;
+
+fn encode_durable_checkpoint(applied: u64, cp: &ServeCheckpoint) -> Vec<u8> {
+    let payload = cp.encode();
+    let mut out = Vec::with_capacity(HEADER_LEN + 16 + payload.len() + 4);
+    out.extend_from_slice(&CKPT_MAGIC);
+    out.push(CKPT_VERSION);
+    out.extend_from_slice(&applied.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&out).to_be_bytes());
+    out
+}
+
+fn decode_durable_checkpoint(data: &[u8]) -> Result<(u64, ServeCheckpoint), WalError> {
+    if data.len() < HEADER_LEN + 16 + 4 || data[..4] != CKPT_MAGIC || data[4] != CKPT_VERSION {
+        return Err(WalError::Checkpoint(CheckpointError::BadMagic));
+    }
+    let (body, tail) = data.split_at(data.len() - 4);
+    if crc32(body) != u32::from_be_bytes([tail[0], tail[1], tail[2], tail[3]]) {
+        return Err(WalError::Checkpoint(CheckpointError::BadChecksum));
+    }
+    let applied = u64::from_be_bytes([
+        data[5], data[6], data[7], data[8], data[9], data[10], data[11], data[12],
+    ]);
+    let plen = u64::from_be_bytes([
+        data[13], data[14], data[15], data[16], data[17], data[18], data[19], data[20],
+    ]) as usize;
+    if body.len() - (HEADER_LEN + 16) != plen {
+        return Err(WalError::Checkpoint(CheckpointError::Truncated));
+    }
+    let cp = ServeCheckpoint::decode(&body[HEADER_LEN + 16..])?;
+    Ok((applied, cp))
+}
+
+/// Writes `bytes` to `path` atomically: a sibling temp file is written,
+/// synced, then renamed over the target.
+fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// A [`ShardedOnline`] engine behind a write-ahead log: every accepted
+/// ingest output is durable before it mutates predictor state, periodic
+/// compaction folds the log into a checkpoint, and [`DurableOnline::open`]
+/// recovers from a crash at any WAL byte offset to a state bit-identical
+/// to an uncrashed run over the same prefix (see the module docs).
+///
+/// Directory layout under the engine's root:
+///
+/// ```text
+/// root/
+///   wal.log          MFW1 record log (torn tail truncated on open)
+///   checkpoint.bin   MFD1 container: applied watermark + MFS1 payload
+/// ```
+#[derive(Debug)]
+pub struct DurableOnline<'a> {
+    dir: PathBuf,
+    engine: ShardedOnline<'a>,
+    stores: &'a [FeatureStore],
+    wal: BufWriter<File>,
+    pending: Vec<IngestOutput>,
+    /// Global sequence number of the next output to be accepted; equals
+    /// the number of outputs durably applied once `pending` is empty.
+    next_seq: u64,
+    records_since_compact: u64,
+    cfg: DurableConfig,
+    metrics: WalMetrics,
+}
+
+impl<'a> DurableOnline<'a> {
+    /// Opens (or creates) a durable engine rooted at `dir`, recovering
+    /// checkpoint + WAL state if present. `stores` must have the same
+    /// length as any previously checkpointed shard count — resharding a
+    /// snapshot is unsound for the same reason as
+    /// [`ServeCheckpoint::restore`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a corrupt checkpoint container, or a WAL whose
+    /// header is not `MFW1`. A *torn* WAL tail is not an error: it is
+    /// measured in the report and truncated.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        lake: &'a DataLake,
+        stores: &'a [FeatureStore],
+        registry: &'a ModelRegistry,
+        platform: Platform,
+        online: OnlineConfig,
+        cfg: DurableConfig,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let metrics = WalMetrics::new();
+        let mut report = RecoveryReport::default();
+        let replay_span = metrics.replay_seconds.time();
+
+        // 1. Latest checkpoint, if any.
+        let ckpt_path = dir.join("checkpoint.bin");
+        let mut engine = match fs::read(&ckpt_path) {
+            Ok(bytes) => {
+                let (applied, cp) = decode_durable_checkpoint(&bytes)?;
+                report.checkpoint_applied = applied;
+                cp.restore(lake, stores, registry)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                ShardedOnline::new(lake, stores, registry, platform, online)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        engine.set_score_trace(cfg.record_scores);
+        let mut next_seq = report.checkpoint_applied;
+
+        // 2. Replay the WAL tail past the checkpoint watermark.
+        let wal_path = dir.join("wal.log");
+        let file = match fs::read(&wal_path) {
+            Ok(bytes) => {
+                let contents = scan(&bytes)?;
+                report.wal_records = contents.records.len() as u64;
+                report.torn_tail_bytes = contents.torn_bytes;
+                if contents.torn_bytes > 0 {
+                    metrics.torn_tails.incr();
+                }
+                for record in &contents.records {
+                    match &record.payload {
+                        WalPayload::Events(events) => {
+                            for (i, e) in events.iter().enumerate() {
+                                if record.seq + i as u64 >= report.checkpoint_applied {
+                                    engine.observe(e);
+                                    report.outputs_replayed += 1;
+                                } else {
+                                    report.outputs_skipped += 1;
+                                }
+                            }
+                        }
+                        WalPayload::Gap(gap) => {
+                            if record.seq >= report.checkpoint_applied {
+                                engine.note_gap(gap.dimm);
+                                report.outputs_replayed += 1;
+                            } else {
+                                report.outputs_skipped += 1;
+                            }
+                        }
+                    }
+                    next_seq = next_seq.max(record.seq + record.outputs());
+                }
+                // Truncate the torn tail (and a torn header) so appends
+                // resume at the end of the valid prefix.
+                let file = OpenOptions::new().write(true).open(&wal_path)?;
+                if contents.valid_bytes < HEADER_LEN as u64 {
+                    file.set_len(0)?;
+                    let mut f = file;
+                    f.write_all(&WAL_MAGIC)?;
+                    f.write_all(&[WAL_VERSION])?;
+                    f.sync_data()?;
+                    f
+                } else {
+                    file.set_len(contents.valid_bytes)?;
+                    let mut f = file;
+                    std::io::Seek::seek(&mut f, std::io::SeekFrom::End(0))?;
+                    f
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let mut f = File::create(&wal_path)?;
+                f.write_all(&WAL_MAGIC)?;
+                f.write_all(&[WAL_VERSION])?;
+                f.sync_data()?;
+                f
+            }
+            Err(e) => return Err(e.into()),
+        };
+        metrics.replay_records.add(report.wal_records);
+        metrics.replay_outputs.add(report.outputs_replayed);
+        metrics.replay_skipped.add(report.outputs_skipped);
+        replay_span.stop();
+
+        Ok((
+            DurableOnline {
+                dir,
+                engine,
+                stores,
+                wal: BufWriter::new(file),
+                pending: Vec::with_capacity(cfg.batch.max(1)),
+                next_seq,
+                records_since_compact: 0,
+                cfg,
+                metrics,
+            },
+            report,
+        ))
+    }
+
+    /// Accepts one ingest output: buffered, logged on the next flush,
+    /// and only then applied to the engine. Flushes automatically every
+    /// [`DurableConfig::batch`] outputs.
+    pub fn push(&mut self, out: IngestOutput) -> Result<(), WalError> {
+        self.pending.push(out);
+        if self.pending.len() >= self.cfg.batch.max(1) {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Makes every buffered output durable, then applies it to the
+    /// engine — the write-ahead ordering. Contiguous released-event runs
+    /// are batched into one record; each gap gets its own. Triggers
+    /// compaction when the record budget is spent.
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let span = self.metrics.flush_seconds.time();
+        let pending = std::mem::take(&mut self.pending);
+        let mut records = Vec::new();
+        let mut seq = self.next_seq;
+        let mut run: Vec<MemEvent> = Vec::new();
+        for out in &pending {
+            match out {
+                IngestOutput::Released(e) => run.push(*e),
+                IngestOutput::Gap(g) => {
+                    if !run.is_empty() {
+                        let n = run.len() as u64;
+                        records.push(WalRecord {
+                            seq,
+                            payload: WalPayload::Events(std::mem::take(&mut run)),
+                        });
+                        seq += n;
+                    }
+                    records.push(WalRecord {
+                        seq,
+                        payload: WalPayload::Gap(*g),
+                    });
+                    seq += 1;
+                }
+            }
+        }
+        if !run.is_empty() {
+            records.push(WalRecord {
+                seq,
+                payload: WalPayload::Events(run),
+            });
+        }
+        for record in &records {
+            let bytes = encode_record(record);
+            self.wal.write_all(&bytes)?;
+            self.metrics.appends.incr();
+            self.metrics.append_bytes.record(bytes.len() as f64);
+        }
+        self.wal.flush()?;
+        if self.cfg.fsync {
+            self.wal.get_ref().sync_data()?;
+            self.metrics.fsyncs.incr();
+        }
+        self.metrics.flushes.incr();
+        span.stop();
+        // Durable — now (and only now) mutate predictor state.
+        for out in &pending {
+            match out {
+                IngestOutput::Released(e) => {
+                    self.engine.observe(e);
+                }
+                IngestOutput::Gap(g) => self.engine.note_gap(g.dimm),
+            }
+            self.next_seq += 1;
+        }
+        self.records_since_compact += records.len() as u64;
+        if self.records_since_compact >= self.cfg.compact_every {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Folds the whole WAL into a fresh checkpoint and resets the log:
+    /// checkpoint first (atomic rename), WAL truncation second, so a
+    /// crash between the two merely makes replay skip covered outputs.
+    pub fn compact(&mut self) -> Result<(), WalError> {
+        self.flush_pending_for_compact()?;
+        let cp = ServeCheckpoint::capture(&self.engine, self.stores);
+        let bytes = encode_durable_checkpoint(self.next_seq, &cp);
+        atomic_write(&self.dir.join("checkpoint.bin"), &bytes)?;
+        // Reset the WAL via the same atomic-rename pattern: a crash here
+        // leaves either the old full log (outputs skipped on replay) or
+        // the fresh empty one.
+        let wal_path = self.dir.join("wal.log");
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&WAL_MAGIC);
+        header.push(WAL_VERSION);
+        atomic_write(&wal_path, &header)?;
+        let file = OpenOptions::new().append(true).open(&wal_path)?;
+        self.wal = BufWriter::new(file);
+        self.records_since_compact = 0;
+        self.metrics.compactions.incr();
+        Ok(())
+    }
+
+    /// Flushes buffered outputs without re-entering compaction.
+    fn flush_pending_for_compact(&mut self) -> Result<(), WalError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let budget = std::mem::replace(&mut self.cfg.compact_every, u64::MAX);
+        let result = self.flush();
+        self.cfg.compact_every = budget;
+        result
+    }
+
+    /// Flushes the buffer and runs every prediction tick up to `until`
+    /// (end of stream). Ticks are a deterministic function of durable
+    /// state, so they are not logged — recovery replays the WAL and the
+    /// caller re-invokes `finish`.
+    pub fn finish(&mut self, until: SimTime) -> Result<(), WalError> {
+        self.flush()?;
+        self.engine.finish(until);
+        Ok(())
+    }
+
+    /// Outputs durably applied so far (the global sequence watermark);
+    /// buffered-but-unflushed outputs are not counted.
+    pub fn applied(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The underlying sharded engine (read access).
+    pub fn engine(&self) -> &ShardedOnline<'a> {
+        &self.engine
+    }
+
+    /// All alarms raised so far, merged by `(time, dimm)`.
+    pub fn alarms(&self) -> Vec<Alarm> {
+        self.engine.alarms()
+    }
+
+    /// All recorded scores (empty unless
+    /// [`DurableConfig::record_scores`]).
+    pub fn scores(&self) -> Vec<ScoreRecord> {
+        self.engine.scores()
+    }
+
+    /// Total model invocations across shards.
+    pub fn scored(&self) -> u64 {
+        self.engine.scored()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature_store::FeatureStore;
+    use crate::online::OnlinePredictor;
+    use crate::serve::make_stores;
+    use mfp_dram::address::CellAddr;
+    use mfp_dram::bus::ErrorTransfer;
+    use mfp_dram::event::CeEvent;
+    use mfp_dram::spec::DimmSpec;
+    use mfp_features::fault_analysis::FaultThresholds;
+    use mfp_features::labeling::ProblemConfig;
+    use mfp_ml::metrics::{Confusion, Evaluation};
+    use mfp_ml::model::{Algorithm, Model};
+    use mfp_ml::risky_ce::RiskyCePattern;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique scratch directory per test invocation (parallel-safe).
+    fn test_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "mfp_wal_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).expect("create scratch dir");
+        d
+    }
+
+    fn risky_ce(t: u64, dimm: DimmId, flip: bool) -> MemEvent {
+        let bits: Vec<(u8, u8)> = if flip {
+            vec![(1, 20), (5, 21)]
+        } else {
+            vec![(1, 20)]
+        };
+        MemEvent::Ce(CeEvent {
+            time: SimTime::from_secs(t),
+            dimm,
+            addr: CellAddr::new(0, 0, (t / 1000) as u32 % 100, 1),
+            transfer: ErrorTransfer::from_bits(bits),
+        })
+    }
+
+    fn setup(lake: &DataLake, registry: &ModelRegistry) -> Vec<DimmId> {
+        let dimms: Vec<DimmId> = (0..8u32).map(|k| DimmId::new(k, (k % 2) as u8)).collect();
+        for &id in &dimms {
+            lake.register_dimm(id, Platform::IntelPurley, DimmSpec::default());
+        }
+        let eval = Evaluation::from_confusion(
+            Confusion {
+                tp: 1,
+                fp: 0,
+                fn_: 0,
+                tn: 1,
+            },
+            0.5,
+        );
+        let mid = registry.register(
+            Algorithm::RiskyCePattern,
+            Platform::IntelPurley,
+            SimTime::ZERO,
+            eval,
+            0.5,
+            Model::RiskyCe(RiskyCePattern::default()),
+        );
+        registry.promote(mid);
+        dimms
+    }
+
+    /// A canonical ingest-output stream: time-ordered released events
+    /// (half the fleet risky) with two collection gaps in the middle.
+    fn outputs(dimms: &[DimmId]) -> Vec<IngestOutput> {
+        let mut out: Vec<IngestOutput> = (0..20 * dimms.len() as u64)
+            .map(|k| {
+                let d = dimms[(k % dimms.len() as u64) as usize];
+                IngestOutput::Released(risky_ce(1_000 + k * 1_800, d, d.server.0 % 2 == 0))
+            })
+            .collect();
+        out.insert(
+            40,
+            IngestOutput::Gap(GapRecord {
+                dimm: dimms[0],
+                from: SimTime::from_secs(50_000),
+                to: SimTime::from_secs(90_000),
+            }),
+        );
+        out.insert(
+            90,
+            IngestOutput::Gap(GapRecord {
+                dimm: dimms[3],
+                from: SimTime::from_secs(120_000),
+                to: SimTime::from_secs(170_000),
+            }),
+        );
+        out
+    }
+
+    fn oracle(
+        lake: &DataLake,
+        registry: &ModelRegistry,
+        outs: &[IngestOutput],
+        end: SimTime,
+    ) -> (Vec<Alarm>, Vec<ScoreRecord>, u64) {
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut p = OnlinePredictor::new(
+            lake,
+            &store,
+            registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        p.set_score_trace(true);
+        for out in outs {
+            p.apply(out);
+        }
+        p.finish(end);
+        (p.alarms().to_vec(), p.score_trace().to_vec(), p.scored())
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn record_roundtrip_and_torn_prefix_scan() {
+        let id = DimmId::new(3, 1);
+        let records = vec![
+            WalRecord {
+                seq: 0,
+                payload: WalPayload::Events(vec![risky_ce(10, id, true), risky_ce(20, id, false)]),
+            },
+            WalRecord {
+                seq: 2,
+                payload: WalPayload::Gap(GapRecord {
+                    dimm: id,
+                    from: SimTime::from_secs(20),
+                    to: SimTime::from_secs(400_000),
+                }),
+            },
+            WalRecord {
+                seq: 3,
+                payload: WalPayload::Events(vec![risky_ce(500_000, id, true)]),
+            },
+        ];
+        let mut image: Vec<u8> = WAL_MAGIC.to_vec();
+        image.push(WAL_VERSION);
+        let mut boundaries = vec![image.len()];
+        for r in &records {
+            image.extend_from_slice(&encode_record(r));
+            boundaries.push(image.len());
+        }
+        let full = scan(&image).unwrap();
+        assert_eq!(full.records, records);
+        assert_eq!(full.valid_bytes, image.len() as u64);
+        assert_eq!(full.torn_bytes, 0);
+
+        // Truncation at EVERY byte offset: the scan returns exactly the
+        // records whose bytes are fully present, and never errors.
+        for cut in 0..image.len() {
+            let c = scan(&image[..cut]).unwrap();
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count().saturating_sub(1);
+            assert_eq!(
+                c.records.len(),
+                complete.min(records.len()),
+                "cut at {cut}: wrong record count"
+            );
+            assert_eq!(c.records[..], records[..c.records.len()]);
+        }
+
+        // A flipped bit anywhere in a record body ends the prefix there.
+        for i in (HEADER_LEN..image.len()).step_by(7) {
+            let mut corrupt = image.clone();
+            corrupt[i] ^= 1 << (i % 8);
+            let c = scan(&corrupt).unwrap();
+            let intact = boundaries.iter().filter(|&&b| b <= i).count() - 1;
+            assert!(
+                c.records.len() <= intact.min(records.len()).max(0),
+                "bit flip at {i} must not extend the valid prefix"
+            );
+            assert_eq!(c.records[..], records[..c.records.len()]);
+        }
+
+        // A non-WAL file is rejected outright.
+        assert!(matches!(scan(b"GARBAGE!"), Err(WalError::BadHeader)));
+        assert!(matches!(scan(b"XY"), Err(WalError::BadHeader)));
+        // A torn header is an empty log, not garbage.
+        let torn = scan(b"MFW").unwrap();
+        assert!(torn.records.is_empty());
+        assert_eq!(torn.torn_bytes, 3);
+    }
+
+    #[test]
+    fn durable_run_matches_the_sequential_oracle() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let outs = outputs(&dimms);
+        let end = SimTime::from_secs(40 * 86_400);
+        let (ref_alarms, ref_scores, ref_scored) = oracle(&lake, &registry, &outs, end);
+        assert!(!ref_alarms.is_empty(), "stream must alarm or the test is vacuous");
+
+        for shards in [1usize, 2, 4] {
+            let dir = test_dir("clean");
+            let stores = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+            let cfg = DurableConfig {
+                batch: 7,
+                record_scores: true,
+                ..DurableConfig::default()
+            };
+            let (mut durable, report) = DurableOnline::open(
+                &dir,
+                &lake,
+                &stores,
+                &registry,
+                Platform::IntelPurley,
+                OnlineConfig::default(),
+                cfg,
+            )
+            .unwrap();
+            assert_eq!(report, RecoveryReport::default());
+            for out in &outs {
+                durable.push(*out).unwrap();
+            }
+            durable.finish(end).unwrap();
+            assert_eq!(durable.alarms(), ref_alarms, "{shards} shards: alarms");
+            assert_eq!(durable.scores(), ref_scores, "{shards} shards: scores");
+            assert_eq!(durable.scored(), ref_scored);
+            assert_eq!(durable.applied(), outs.len() as u64);
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn truncating_the_wal_anywhere_recovers_bit_identically() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let outs = outputs(&dimms);
+        let end = SimTime::from_secs(40 * 86_400);
+        let (ref_alarms, ref_scores, ref_scored) = oracle(&lake, &registry, &outs, end);
+
+        for shards in [1usize, 2, 4] {
+            // Write the complete WAL once (no compaction, so the file
+            // covers the whole stream).
+            let dir = test_dir("sweep");
+            let stores = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+            let cfg = DurableConfig {
+                batch: 5,
+                compact_every: u64::MAX,
+                record_scores: true,
+                ..DurableConfig::default()
+            };
+            let (mut writer, _) = DurableOnline::open(
+                &dir,
+                &lake,
+                &stores,
+                &registry,
+                Platform::IntelPurley,
+                OnlineConfig::default(),
+                cfg,
+            )
+            .unwrap();
+            for out in &outs {
+                writer.push(*out).unwrap();
+            }
+            writer.flush().unwrap();
+            drop(writer);
+            let image = fs::read(dir.join("wal.log")).unwrap();
+            let boundaries: Vec<usize> = {
+                let mut b = vec![HEADER_LEN];
+                let mut off = HEADER_LEN;
+                while off < image.len() {
+                    let plen = u32::from_be_bytes([
+                        image[off + 9],
+                        image[off + 10],
+                        image[off + 11],
+                        image[off + 12],
+                    ]) as usize;
+                    off += RECORD_HEADER_LEN + plen + 4;
+                    b.push(off);
+                }
+                b
+            };
+            // Crash at every record boundary plus torn offsets sampled
+            // across the whole file (densely for the single-shard config,
+            // sparsely for the rest — torn-tail handling is
+            // shard-independent, so the expensive part of the sweep does
+            // not need to be repeated per shard count).
+            let mut cuts: Vec<usize> = boundaries.clone();
+            let step = if shards == 1 { 461 } else { 1847 };
+            cuts.extend((0..image.len()).step_by(step));
+            cuts.sort_unstable();
+            cuts.dedup();
+            for cut in cuts {
+                let crash_dir = test_dir("sweep_cut");
+                fs::write(crash_dir.join("wal.log"), &image[..cut]).unwrap();
+                let (mut resumed, report) = DurableOnline::open(
+                    &crash_dir,
+                    &lake,
+                    &stores,
+                    &registry,
+                    Platform::IntelPurley,
+                    OnlineConfig::default(),
+                    cfg,
+                )
+                .unwrap();
+                let m = report.outputs_replayed as usize;
+                assert!(m <= outs.len());
+                if cut > 0 && boundaries.binary_search(&cut).is_err() {
+                    assert!(report.torn_tail_bytes > 0, "mid-record cut at {cut}");
+                }
+                for out in &outs[m..] {
+                    resumed.push(*out).unwrap();
+                }
+                resumed.finish(end).unwrap();
+                assert_eq!(
+                    resumed.alarms(),
+                    ref_alarms,
+                    "{shards} shards, crash at byte {cut}: alarms diverged"
+                );
+                assert_eq!(
+                    resumed.scores(),
+                    ref_scores,
+                    "{shards} shards, crash at byte {cut}: scores diverged"
+                );
+                assert_eq!(resumed.scored(), ref_scored);
+                assert_eq!(resumed.applied(), outs.len() as u64);
+                let _ = fs::remove_dir_all(&crash_dir);
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn compaction_bounds_the_wal_and_recovery_still_matches() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let outs = outputs(&dimms);
+        let end = SimTime::from_secs(40 * 86_400);
+        let (ref_alarms, _, ref_scored) = oracle(&lake, &registry, &outs, end);
+
+        let dir = test_dir("compact");
+        let stores = make_stores(2, ProblemConfig::default(), FaultThresholds::default());
+        let cfg = DurableConfig {
+            batch: 5,
+            compact_every: 4,
+            fsync: true,
+            ..DurableConfig::default()
+        };
+        let (mut durable, _) = DurableOnline::open(
+            &dir,
+            &lake,
+            &stores,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            cfg,
+        )
+        .unwrap();
+        for out in &outs {
+            durable.push(*out).unwrap();
+        }
+        durable.flush().unwrap();
+        drop(durable);
+        assert!(dir.join("checkpoint.bin").exists(), "compaction must checkpoint");
+        let wal_len = fs::metadata(dir.join("wal.log")).unwrap().len();
+        assert!(
+            wal_len < 2_000,
+            "compaction must bound the log (got {wal_len} bytes)"
+        );
+
+        // Crash after the stream: reopen, finish, compare.
+        let restore_stores = make_stores(2, ProblemConfig::default(), FaultThresholds::default());
+        let (mut resumed, report) = DurableOnline::open(
+            &dir,
+            &lake,
+            &restore_stores,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            cfg,
+        )
+        .unwrap();
+        assert!(report.checkpoint_applied > 0);
+        assert_eq!(
+            report.checkpoint_applied + report.outputs_replayed,
+            outs.len() as u64
+        );
+        resumed.finish(end).unwrap();
+        assert_eq!(resumed.alarms(), ref_alarms);
+        assert_eq!(resumed.scored(), ref_scored);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_skips_outputs_the_checkpoint_already_covers() {
+        // Simulate a crash between the checkpoint rename and the WAL
+        // reset: pair a *full* WAL with a checkpoint that covers all of
+        // it. Replay must skip, not double-apply.
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let outs = outputs(&dimms);
+        let end = SimTime::from_secs(40 * 86_400);
+        let (ref_alarms, _, ref_scored) = oracle(&lake, &registry, &outs, end);
+
+        // Full WAL, no compaction.
+        let wal_dir = test_dir("skipsrc");
+        let stores = make_stores(2, ProblemConfig::default(), FaultThresholds::default());
+        let nocompact = DurableConfig {
+            batch: 5,
+            compact_every: u64::MAX,
+            ..DurableConfig::default()
+        };
+        let (mut writer, _) = DurableOnline::open(
+            &wal_dir,
+            &lake,
+            &stores,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            nocompact,
+        )
+        .unwrap();
+        for out in &outs {
+            writer.push(*out).unwrap();
+        }
+        writer.flush().unwrap();
+        // Checkpoint covering the whole stream, taken from the live
+        // engine (what compaction writes just before resetting the WAL).
+        let cp = ServeCheckpoint::capture(writer.engine(), &stores);
+        let ckpt = encode_durable_checkpoint(outs.len() as u64, &cp);
+        drop(writer);
+
+        let crash_dir = test_dir("skip");
+        fs::copy(wal_dir.join("wal.log"), crash_dir.join("wal.log")).unwrap();
+        fs::write(crash_dir.join("checkpoint.bin"), &ckpt).unwrap();
+        let restore_stores = make_stores(2, ProblemConfig::default(), FaultThresholds::default());
+        let (mut resumed, report) = DurableOnline::open(
+            &crash_dir,
+            &lake,
+            &restore_stores,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            nocompact,
+        )
+        .unwrap();
+        assert_eq!(report.checkpoint_applied, outs.len() as u64);
+        assert_eq!(report.outputs_replayed, 0, "covered outputs must be skipped");
+        assert_eq!(report.outputs_skipped, outs.len() as u64);
+        resumed.finish(end).unwrap();
+        assert_eq!(resumed.alarms(), ref_alarms);
+        assert_eq!(resumed.scored(), ref_scored);
+        let _ = fs::remove_dir_all(&wal_dir);
+        let _ = fs::remove_dir_all(&crash_dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_detected_not_restored() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let _ = setup(&lake, &registry);
+        let dir = test_dir("badckpt");
+        fs::write(dir.join("checkpoint.bin"), b"MFD1\x01garbage-that-is-long-enough....").unwrap();
+        let stores = make_stores(1, ProblemConfig::default(), FaultThresholds::default());
+        let err = DurableOnline::open(
+            &dir,
+            &lake,
+            &stores,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            DurableConfig::default(),
+        )
+        .err()
+        .expect("corrupt checkpoint must not restore");
+        assert!(matches!(err, WalError::Checkpoint(_)), "got {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -88,6 +88,13 @@ pub fn latency(name: &str, labels: &[(&str, &str)]) -> Histogram {
     global().histogram(name, labels, &metrics::default_latency_buckets())
 }
 
+/// A histogram handle with the default size buckets (bytes, powers of two
+/// from 64 B to 64 MiB) — for I/O payload measurements such as WAL record
+/// and lake partition-append sizes.
+pub fn sizes(name: &str, labels: &[(&str, &str)]) -> Histogram {
+    global().histogram(name, labels, &metrics::default_size_buckets())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -254,6 +254,12 @@ pub fn default_latency_buckets() -> Vec<f64> {
     bounds
 }
 
+/// Default size buckets in bytes: powers of two from 64 B to 64 MiB —
+/// for I/O payload histograms (WAL records, lake partition appends).
+pub fn default_size_buckets() -> Vec<f64> {
+    (6..=26).map(|p| (1u64 << p) as f64).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +345,14 @@ mod tests {
         assert!(b.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(b.first().copied(), Some(1e-6));
         assert_eq!(b.last().copied(), Some(10.0));
+    }
+
+    #[test]
+    fn default_size_buckets_are_ascending_powers_of_two() {
+        let b = default_size_buckets();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b.first().copied(), Some(64.0));
+        assert_eq!(b.last().copied(), Some((64u64 << 20) as f64));
     }
 
     #[test]

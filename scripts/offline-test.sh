@@ -285,6 +285,16 @@ impl BytesMut {
     }
 }
 
+// The checkpoint envelope checksums the partially built buffer
+// (`crc32(&buf)` on a `BytesMut`), which relies on the real crate's
+// Deref to `[u8]`.
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
 pub trait BufMut {
     fn put_slice(&mut self, src: &[u8]);
     fn put_u8(&mut self, v: u8);

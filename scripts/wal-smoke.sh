@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Durability smoke: run the write-ahead-log benchmark, which measures the
+# WAL's logging overhead against the bare sequential predictor and then
+# truncates the log at sampled byte offsets — simulated crashes — failing
+# the build unless every recovery + resume reproduces the uncrashed alarm
+# log bit for bit (wal_replay exits non-zero on the first divergent cut).
+# Writes a machine-readable BENCH_wal.json that the CI job uploads.
+#
+# Prefers cargo; falls back to the offline rustc harness when the
+# registry is unreachable (air-gapped CI).
+#
+# Usage: scripts/wal-smoke.sh [extra wal_replay flags ...]
+#
+# Environment:
+#   DIMMS=1000            fleet size (Purley sub-population)
+#   CUTS=8                simulated crash offsets to sample
+#   SHARDS=2              serving shards behind the WAL
+#   WAL_OUT=BENCH_wal.json  baseline path
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WAL_ARGS=(
+  --dimms "${DIMMS:-1000}"
+  --cuts "${CUTS:-8}"
+  --shards "${SHARDS:-2}"
+  --horizon-days 30
+  --out "${WAL_OUT:-BENCH_wal.json}"
+  "$@"
+)
+
+if cargo build --release -p mfp-bench --bin wal_replay 2>/dev/null; then
+  cargo run --release -p mfp-bench --bin wal_replay -- "${WAL_ARGS[@]}"
+  exit $?
+fi
+
+echo "[wal-smoke] cargo unavailable, using the offline harness" >&2
+"$ROOT/scripts/offline-test.sh" --bin wal_replay -- "${WAL_ARGS[@]}"

@@ -1,0 +1,246 @@
+//! Property tests of the durability layer (`mfp_mlops::wal`): for
+//! randomized event streams, shard counts, batch sizes and compaction
+//! budgets, a crash at an arbitrary WAL byte offset recovers to a state
+//! that — after resuming the remainder of the stream — is bit-identical
+//! to an uncrashed sequential run. Also checks the `MFW1` record format
+//! round-trips and that a truncated image never yields phantom records.
+
+use mfp_dram::address::{CellAddr, DimmId};
+use mfp_dram::bus::ErrorTransfer;
+use mfp_dram::event::{CeEvent, MemEvent};
+use mfp_dram::geometry::Platform;
+use mfp_dram::spec::DimmSpec;
+use mfp_dram::time::SimTime;
+use mfp_features::fault_analysis::FaultThresholds;
+use mfp_features::labeling::ProblemConfig;
+use mfp_ml::metrics::{Confusion, Evaluation};
+use mfp_ml::model::{Algorithm, Model};
+use mfp_ml::risky_ce::RiskyCePattern;
+use mfp_mlops::prelude::*;
+use mfp_mlops::wal::{encode_record, scan, WalPayload, WalRecord};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch directory per test invocation (parallel-safe).
+fn test_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "mfp_prop_wal_{tag}_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create scratch dir");
+    d
+}
+
+/// SplitMix64: the repo's dependency-free PRNG for derived quantities.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn risky_ce(t: u64, dimm: DimmId, flip: bool) -> MemEvent {
+    let bits: Vec<(u8, u8)> = if flip {
+        vec![(1, 20), (5, 21)]
+    } else {
+        vec![(1, 20)]
+    };
+    MemEvent::Ce(CeEvent {
+        time: SimTime::from_secs(t),
+        dimm,
+        addr: CellAddr::new(0, 0, (t / 1000) as u32 % 100, 1),
+        transfer: ErrorTransfer::from_bits(bits),
+    })
+}
+
+/// Registers a small fleet plus a deployed pattern model; returns the
+/// catalog so streams can address it.
+fn setup(lake: &DataLake, registry: &ModelRegistry, n_dimms: usize) -> Vec<DimmId> {
+    let dimms: Vec<DimmId> = (0..n_dimms as u32)
+        .map(|k| DimmId::new(k, (k % 2) as u8))
+        .collect();
+    for &id in &dimms {
+        lake.register_dimm(id, Platform::IntelPurley, DimmSpec::default());
+    }
+    let eval = Evaluation::from_confusion(
+        Confusion {
+            tp: 1,
+            fp: 0,
+            fn_: 0,
+            tn: 1,
+        },
+        0.5,
+    );
+    let mid = registry.register(
+        Algorithm::RiskyCePattern,
+        Platform::IntelPurley,
+        SimTime::ZERO,
+        eval,
+        0.5,
+        Model::RiskyCe(RiskyCePattern::default()),
+    );
+    registry.promote(mid);
+    dimms
+}
+
+/// A seed-derived canonical ingest-output stream: time-ordered released
+/// events over the fleet with pseudo-random collection gaps sprinkled in.
+fn stream(dimms: &[DimmId], seed: u64, events: usize) -> Vec<IngestOutput> {
+    let mut rng = seed;
+    let mut out = Vec::with_capacity(events + events / 8);
+    for k in 0..events as u64 {
+        let d = dimms[(splitmix(&mut rng) % dimms.len() as u64) as usize];
+        let risky = splitmix(&mut rng) % 2 == 0;
+        out.push(IngestOutput::Released(risky_ce(1_000 + k * 1_800, d, risky)));
+        if splitmix(&mut rng) % 11 == 0 {
+            let g = dimms[(splitmix(&mut rng) % dimms.len() as u64) as usize];
+            out.push(IngestOutput::Gap(GapRecord {
+                dimm: g,
+                from: SimTime::from_secs(1_000 + k * 1_800),
+                to: SimTime::from_secs(2_000 + k * 1_800),
+            }));
+        }
+    }
+    out
+}
+
+/// The uncrashed sequential oracle over the same stream.
+fn oracle(
+    lake: &DataLake,
+    registry: &ModelRegistry,
+    outs: &[IngestOutput],
+    end: SimTime,
+) -> (Vec<Alarm>, u64) {
+    let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+    let mut p = OnlinePredictor::new(
+        lake,
+        &store,
+        registry,
+        Platform::IntelPurley,
+        OnlineConfig::default(),
+    );
+    for out in outs {
+        p.apply(out);
+    }
+    p.finish(end);
+    (p.alarms().to_vec(), p.scored())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `MFW1` records round-trip through encode/scan, and truncating the
+    /// image at an arbitrary byte yields exactly the record prefix that
+    /// fits — never a phantom or corrupted record.
+    #[test]
+    fn wal_image_scan_is_a_prefix_decoder(
+        seed in 0u64..1_000_000,
+        records in 1usize..12,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut rng = seed;
+        let dimms: Vec<DimmId> = (0..4u32).map(|k| DimmId::new(k, 0)).collect();
+        let mut image = b"MFW1\x01".to_vec();
+        let mut encoded: Vec<WalRecord> = Vec::new();
+        let mut seq = 0u64;
+        for _ in 0..records {
+            let record = if splitmix(&mut rng) % 3 == 0 {
+                WalRecord {
+                    seq,
+                    payload: WalPayload::Gap(GapRecord {
+                        dimm: dimms[(splitmix(&mut rng) % 4) as usize],
+                        from: SimTime::from_secs(splitmix(&mut rng) % 1_000_000),
+                        to: SimTime::from_secs(splitmix(&mut rng) % 1_000_000),
+                    }),
+                }
+            } else {
+                let n = 1 + (splitmix(&mut rng) % 6) as usize;
+                let events: Vec<MemEvent> = (0..n as u64)
+                    .map(|i| risky_ce(seq * 1_800 + i * 7, dimms[(i % 4) as usize], i % 2 == 0))
+                    .collect();
+                WalRecord { seq, payload: WalPayload::Events(events) }
+            };
+            seq += record.outputs();
+            image.extend_from_slice(&encode_record(&record));
+            encoded.push(record);
+        }
+
+        // Full image: every record comes back byte-exact.
+        let full = scan(&image).expect("full image scans");
+        prop_assert_eq!(&full.records, &encoded);
+        prop_assert_eq!(full.torn_bytes, 0);
+
+        // Arbitrary truncation: a (possibly empty) strict prefix of the
+        // encoded records, plus a measured torn tail covering the rest.
+        let cut = 5 + ((image.len() - 5) as f64 * cut_frac) as usize;
+        let torn = scan(&image[..cut]).expect("truncated image still scans");
+        prop_assert!(torn.records.len() <= encoded.len());
+        prop_assert_eq!(&torn.records[..], &encoded[..torn.records.len()]);
+        prop_assert_eq!(torn.valid_bytes + torn.torn_bytes, cut as u64);
+    }
+
+    /// Crash anywhere, recover, resume: alarms and model-invocation
+    /// counts match the uncrashed oracle for arbitrary streams, shard
+    /// counts, batch sizes and compaction budgets.
+    #[test]
+    fn crash_recovery_resumes_bit_identically(
+        seed in 0u64..1_000_000,
+        shards in 1usize..=4,
+        batch in 1usize..=16,
+        compact_every in prop_oneof![Just(u64::MAX), (2u64..32)],
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry, 6);
+        let outs = stream(&dimms, seed, 60);
+        let end = SimTime::from_secs(40 * 86_400);
+        let (ref_alarms, ref_scored) = oracle(&lake, &registry, &outs, end);
+
+        // Run the full stream durably, then crash by truncating the WAL
+        // at an arbitrary byte offset.
+        let dir = test_dir("crash");
+        let stores = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+        let cfg = DurableConfig { batch, compact_every, ..DurableConfig::default() };
+        let (mut writer, fresh) = DurableOnline::open(
+            &dir, &lake, &stores, &registry,
+            Platform::IntelPurley, OnlineConfig::default(), cfg,
+        ).unwrap();
+        prop_assert_eq!(fresh, RecoveryReport::default());
+        for out in &outs {
+            writer.push(*out).unwrap();
+        }
+        writer.flush().unwrap();
+        drop(writer);
+
+        let wal_path = dir.join("wal.log");
+        let image = std::fs::read(&wal_path).unwrap();
+        let cut = (image.len() as f64 * cut_frac) as usize;
+        std::fs::write(&wal_path, &image[..cut]).unwrap();
+
+        // Recover and resume the suffix the crash lost.
+        let restore_stores =
+            make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+        let (mut resumed, report) = DurableOnline::open(
+            &dir, &lake, &restore_stores, &registry,
+            Platform::IntelPurley, OnlineConfig::default(), cfg,
+        ).unwrap();
+        let covered = resumed.applied();
+        prop_assert!(covered <= outs.len() as u64);
+        prop_assert!(covered >= report.checkpoint_applied);
+        for out in &outs[covered as usize..] {
+            resumed.push(*out).unwrap();
+        }
+        resumed.finish(end).unwrap();
+
+        prop_assert_eq!(resumed.alarms(), ref_alarms, "alarms after recovery");
+        prop_assert_eq!(resumed.scored(), ref_scored, "model invocations after recovery");
+        prop_assert_eq!(resumed.applied(), outs.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
