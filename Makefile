@@ -2,7 +2,7 @@
 # access needed) via scripts/offline-test.sh when cargo can't resolve
 # the registry.
 
-.PHONY: test chaos e2e serve wal ci
+.PHONY: test chaos e2e serve wal failover ci
 
 # Unit tests for every crate (merged-crate rustc harness).
 test:
@@ -33,3 +33,10 @@ serve:
 # bit; refreshes the BENCH_wal.json baseline.
 wal:
 	scripts/wal-smoke.sh
+
+# Self-healing gate: drive the supervised sharded engine through seeded
+# kill/hang/panic schedules (torn WAL tails included) and require merged
+# alarms + scores to match the uncrashed oracle bit for bit; refreshes
+# the BENCH_failover.json baseline.
+failover:
+	scripts/failover-smoke.sh

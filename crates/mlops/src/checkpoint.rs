@@ -628,7 +628,10 @@ mod tests {
         let back = ServeCheckpoint::decode(&wire).unwrap();
         assert_eq!(back, cp, "sharded checkpoint must round-trip bit-exactly");
 
-        assert_eq!(ServeCheckpoint::decode(b"xx"), Err(CheckpointError::Truncated));
+        assert_eq!(
+            ServeCheckpoint::decode(b"xx"),
+            Err(CheckpointError::Truncated)
+        );
         assert_eq!(
             ServeCheckpoint::decode(b"XXXX\x01\x00"),
             Err(CheckpointError::BadMagic)
@@ -638,7 +641,10 @@ mod tests {
             Err(CheckpointError::BadVersion(9))
         );
         let cut = &wire[..wire.len() - 3];
-        assert_eq!(ServeCheckpoint::decode(cut), Err(CheckpointError::BadChecksum));
+        assert_eq!(
+            ServeCheckpoint::decode(cut),
+            Err(CheckpointError::BadChecksum)
+        );
         // A single-predictor payload is not a sharded checkpoint.
         let single = cp.shards[0].encode();
         assert_eq!(
@@ -772,8 +778,7 @@ mod tests {
         // format, replay the suffix: alarms must match bit for bit.
         for cut in 0..=events.len() {
             let s1 = store();
-            let mut first =
-                OnlinePredictor::new(&lake, &s1, &registry, Platform::IntelPurley, cfg);
+            let mut first = OnlinePredictor::new(&lake, &s1, &registry, Platform::IntelPurley, cfg);
             for e in &events[..cut] {
                 first.observe(e);
             }

@@ -259,7 +259,10 @@ mod tests {
             &labelled_set(6, 100, false),
         );
         assert!(!run2.deployed);
-        assert_eq!(reg.production(Platform::K920).unwrap().id, production_before);
+        assert_eq!(
+            reg.production(Platform::K920).unwrap().id,
+            production_before
+        );
         let bench_stage = run2.stages.iter().find(|s| s.stage == "benchmark").unwrap();
         assert!(!bench_stage.passed);
     }
@@ -276,7 +279,7 @@ mod tests {
             &labelled_set(1, 400, true),
             &labelled_set(2, 200, true),
             &SampleSet::new(),
-            );
+        );
         assert!(run.deployed);
         let canary_stage = run.stages.iter().find(|s| s.stage == "canary").unwrap();
         assert!(canary_stage.detail.contains("skipped"));

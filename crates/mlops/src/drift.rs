@@ -82,7 +82,9 @@ pub fn psi_report_excluding(
     if reference.is_empty() {
         // No reference distribution — quantile edges would be undefined
         // (and `len() - 1` below would underflow).
-        return DriftReport { features: Vec::new() };
+        return DriftReport {
+            features: Vec::new(),
+        };
     }
     let bins = bins.clamp(2, 50);
     let d = reference.dim();

@@ -328,7 +328,11 @@ mod tests {
         s.stream_ingest(&ce(3_000, id));
         s.stream_ingest(&ce(2_000, id)); // late arrival within retention
         let streams = s.streams.read();
-        let times: Vec<u64> = streams[&id].events.iter().map(|e| e.time().as_secs()).collect();
+        let times: Vec<u64> = streams[&id]
+            .events
+            .iter()
+            .map(|e| e.time().as_secs())
+            .collect();
         assert_eq!(times, vec![1_000, 2_000, 3_000]);
     }
 

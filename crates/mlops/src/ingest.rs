@@ -114,7 +114,9 @@ pub struct GapRecord {
 impl GapRecord {
     /// Length of the hole.
     pub fn length(&self) -> SimDuration {
-        self.to.checked_duration_since(self.from).unwrap_or(SimDuration::ZERO)
+        self.to
+            .checked_duration_since(self.from)
+            .unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -711,8 +713,9 @@ mod tests {
     fn normalize_is_idempotent_on_chaos_streams() {
         let ids: Vec<DimmId> = (0..5).map(|s| DimmId::new(s, 0)).collect();
         let lake = lake_with(&ids);
-        let clean: Vec<MemEvent> =
-            (0..300u64).map(|k| ce(1_000 + k * 97, ids[(k % 5) as usize])).collect();
+        let clean: Vec<MemEvent> = (0..300u64)
+            .map(|k| ce(1_000 + k * 97, ids[(k % 5) as usize]))
+            .collect();
         let (hostile, _) = inject_chaos(&clean, &ChaosConfig::hostile(11));
         let cfg = IngestConfig {
             lateness: SimDuration::hours(2),
@@ -767,8 +770,9 @@ mod tests {
     fn lossless_chaos_normalizes_to_the_clean_stream() {
         let ids: Vec<DimmId> = (0..4).map(|s| DimmId::new(s, 0)).collect();
         let lake = lake_with(&ids);
-        let clean: Vec<MemEvent> =
-            (0..500u64).map(|k| ce(2_000 + k * 53, ids[(k % 4) as usize])).collect();
+        let clean: Vec<MemEvent> = (0..500u64)
+            .map(|k| ce(2_000 + k * 53, ids[(k % 4) as usize]))
+            .collect();
         let chaos_cfg = ChaosConfig::lossless(21);
         let (hostile, cstats) = inject_chaos(&clean, &chaos_cfg);
         assert!(cstats.delayed > 0, "chaos must actually reorder");

@@ -196,17 +196,21 @@ struct ManifestEntry {
     max_time: u64,
 }
 
-fn platform_index(p: Platform) -> u8 {
-    Platform::ALL.iter().position(|&q| q == p).expect("platform in ALL") as u8
+fn platform_index(p: Platform) -> Result<u8, LakeError> {
+    Platform::ALL
+        .iter()
+        .position(|&q| q == p)
+        .map(|i| i as u8)
+        .ok_or(LakeError::Corrupt("platform missing from Platform::ALL"))
 }
 
-fn encode_manifest(entries: &BTreeMap<PartitionKey, ManifestEntry>) -> Vec<u8> {
+fn encode_manifest(entries: &BTreeMap<PartitionKey, ManifestEntry>) -> Result<Vec<u8>, LakeError> {
     let mut out = Vec::with_capacity(5 + 8 + entries.len() * MANIFEST_ENTRY_LEN + 4);
     out.extend_from_slice(&MANIFEST_MAGIC);
     out.push(LAKE_VERSION);
     out.extend_from_slice(&(entries.len() as u64).to_be_bytes());
     for ((platform, day), e) in entries {
-        out.push(platform_index(*platform));
+        out.push(platform_index(*platform)?);
         out.extend_from_slice(&day.to_be_bytes());
         out.extend_from_slice(&e.committed_bytes.to_be_bytes());
         out.extend_from_slice(&e.events.to_be_bytes());
@@ -214,7 +218,7 @@ fn encode_manifest(entries: &BTreeMap<PartitionKey, ManifestEntry>) -> Vec<u8> {
         out.extend_from_slice(&e.max_time.to_be_bytes());
     }
     out.extend_from_slice(&crate::wal::crc32(&out).to_be_bytes());
-    out
+    Ok(out)
 }
 
 fn decode_manifest(data: &[u8]) -> Result<BTreeMap<PartitionKey, ManifestEntry>, LakeError> {
@@ -246,7 +250,7 @@ fn decode_manifest(data: &[u8]) -> Result<BTreeMap<PartitionKey, ManifestEntry>,
     Ok(entries)
 }
 
-fn encode_catalog(catalog: &BTreeMap<DimmId, (Platform, DimmSpec)>) -> Vec<u8> {
+fn encode_catalog(catalog: &BTreeMap<DimmId, (Platform, DimmSpec)>) -> Result<Vec<u8>, LakeError> {
     let mut out = Vec::with_capacity(5 + 8 + catalog.len() * CATALOG_ENTRY_LEN + 4);
     out.extend_from_slice(&CATALOG_MAGIC);
     out.push(LAKE_VERSION);
@@ -254,13 +258,19 @@ fn encode_catalog(catalog: &BTreeMap<DimmId, (Platform, DimmSpec)>) -> Vec<u8> {
     for (id, (platform, spec)) in catalog {
         out.extend_from_slice(&id.server.0.to_be_bytes());
         out.push(id.slot);
-        out.push(platform_index(*platform));
+        out.push(platform_index(*platform)?);
         out.push(spec.manufacturer.index() as u8);
         out.push(match spec.width {
             DataWidth::X4 => 0,
             DataWidth::X8 => 1,
         });
-        out.push(Frequency::ALL.iter().position(|&f| f == spec.frequency).expect("freq") as u8);
+        out.push(
+            Frequency::ALL
+                .iter()
+                .position(|&f| f == spec.frequency)
+                .ok_or(LakeError::Corrupt("frequency missing from Frequency::ALL"))?
+                as u8,
+        );
         out.push(spec.process.index() as u8);
         out.extend_from_slice(&spec.capacity_gib.to_be_bytes());
         out.push(spec.ranks);
@@ -270,7 +280,7 @@ fn encode_catalog(catalog: &BTreeMap<DimmId, (Platform, DimmSpec)>) -> Vec<u8> {
         out.push(spec.geometry.col_bits);
     }
     out.extend_from_slice(&crate::wal::crc32(&out).to_be_bytes());
-    out
+    Ok(out)
 }
 
 fn decode_catalog(data: &[u8]) -> Result<BTreeMap<DimmId, (Platform, DimmSpec)>, LakeError> {
@@ -484,7 +494,7 @@ impl DiskLake {
     }
 
     fn persist_catalog(&self) -> Result<(), LakeError> {
-        let bytes = encode_catalog(&self.mem.catalog.read());
+        let bytes = encode_catalog(&self.mem.catalog.read())?;
         Ok(atomic_write_file(&self.root.join("catalog.bin"), &bytes)?)
     }
 
@@ -503,7 +513,10 @@ impl DiskLake {
             let catalog = self.mem.catalog.read();
             for e in events {
                 if let Some((platform, _)) = catalog.get(&e.dimm()) {
-                    groups.entry((*platform, e.time().as_days())).or_default().push(*e);
+                    groups
+                        .entry((*platform, e.time().as_days()))
+                        .or_default()
+                        .push(*e);
                 }
             }
         }
@@ -515,7 +528,10 @@ impl DiskLake {
             chunk.extend_from_slice(&(payload.len() as u32).to_be_bytes());
             chunk.extend_from_slice(&payload);
             let path = self.root.join(partition_file(*key));
-            let mut file = fs::OpenOptions::new().create(true).append(true).open(&path)?;
+            let mut file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)?;
             file.write_all(&chunk)?;
             file.sync_data()?;
             append_sizes.record(chunk.len() as f64);
@@ -535,7 +551,10 @@ impl DiskLake {
             entry.max_time = entry.max_time.max(hi);
         }
         if !groups.is_empty() {
-            atomic_write_file(&self.root.join("manifest.bin"), &encode_manifest(&manifest))?;
+            atomic_write_file(
+                &self.root.join("manifest.bin"),
+                &encode_manifest(&manifest)?,
+            )?;
         }
         drop(manifest);
         Ok(self.mem.ingest(events))
@@ -691,7 +710,11 @@ mod tests {
         // A range reaching the far future completes by walking only the
         // partitions that exist (the old day-by-day loop iterated every
         // absent day index up to u64::MAX / 86_400).
-        let all = lake.query(Platform::IntelPurley, SimTime::ZERO, SimTime::from_secs(u64::MAX));
+        let all = lake.query(
+            Platform::IntelPurley,
+            SimTime::ZERO,
+            SimTime::from_secs(u64::MAX),
+        );
         assert_eq!(all.len(), 2);
         // Degenerate equal endpoints: empty half-open interval.
         assert!(lake
@@ -822,7 +845,11 @@ mod tests {
             disk.register_dimm(id, p, s).unwrap();
         });
         disk.ingest(&events).unwrap();
-        let reference = disk.query(Platform::IntelPurley, SimTime::ZERO, SimTime::from_secs(u64::MAX));
+        let reference = disk.query(
+            Platform::IntelPurley,
+            SimTime::ZERO,
+            SimTime::from_secs(u64::MAX),
+        );
         drop(disk);
         // Crash mid-append: garbage past the committed length of one
         // partition file. Reopen must ignore it entirely.
@@ -832,7 +859,11 @@ mod tests {
         drop(f);
         let reopened = DiskLake::open(&root).unwrap();
         assert_eq!(
-            reopened.query(Platform::IntelPurley, SimTime::ZERO, SimTime::from_secs(u64::MAX)),
+            reopened.query(
+                Platform::IntelPurley,
+                SimTime::ZERO,
+                SimTime::from_secs(u64::MAX)
+            ),
             reference,
             "torn append must not change committed query results"
         );
@@ -857,8 +888,16 @@ mod tests {
         assert_eq!(back.len(), mem.len());
         assert_eq!(back.catalog_len(), mem.catalog_len());
         assert_eq!(
-            back.query(Platform::IntelPurley, SimTime::ZERO, SimTime::from_secs(u64::MAX)),
-            mem.query(Platform::IntelPurley, SimTime::ZERO, SimTime::from_secs(u64::MAX))
+            back.query(
+                Platform::IntelPurley,
+                SimTime::ZERO,
+                SimTime::from_secs(u64::MAX)
+            ),
+            mem.query(
+                Platform::IntelPurley,
+                SimTime::ZERO,
+                SimTime::from_secs(u64::MAX)
+            )
         );
         // Exporting onto a non-empty root is refused.
         assert!(matches!(

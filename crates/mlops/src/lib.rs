@@ -29,7 +29,12 @@
 //!   drift and CI/CD into the paper's continuous-improvement loop.
 //! * [`wal`] — the durability layer: a checksummed write-ahead log with
 //!   checkpoint compaction and crash recovery that replays to
-//!   bit-identical alarms and scores from any torn-write offset.
+//!   bit-identical alarms and scores from any torn-write offset, at
+//!   whole-engine (`MFW1`/`MFD1`) or per-shard (`MFW2`) granularity.
+//! * [`supervise`] — self-healing serving: shards run as restartable
+//!   units with panic capture, heartbeat hang detection, deterministic
+//!   bounded backoff, and poison-record quarantine, gated by a seeded
+//!   crash-chaos injector against the sequential oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +51,7 @@ pub mod monitor;
 pub mod online;
 pub mod registry;
 pub mod serve;
+pub mod supervise;
 pub mod wal;
 
 /// Convenient glob-import of the most used types.
@@ -65,8 +71,15 @@ pub mod prelude {
     pub use crate::online::{Alarm, OnlineConfig, OnlinePredictor, ScoreRecord};
     pub use crate::registry::{ModelEntry, ModelRegistry, Stage};
     pub use crate::serve::{
-        make_stores, serve_pipeline, shard_of, ServeConfig, ServeError, ServeOutcome, ServeStats,
-        ShardServeStats, ShardedOnline,
+        make_stores, serve_pipeline, shard_of, shard_route, ServeConfig, ServeError, ServeOutcome,
+        ServeStats, ShardServeStats, ShardedOnline,
     };
-    pub use crate::wal::{DurableConfig, DurableOnline, RecoveryReport, WalError};
+    pub use crate::supervise::{
+        ChaosEvent, ChaosKind, ChaosPlan, SuperviseConfig, SupervisedOutcome, Supervisor,
+        SupervisorReport,
+    };
+    pub use crate::wal::{
+        ApplyVerdict, DurableConfig, DurableOnline, DurableShard, FlushStatus, RecoveryReport,
+        ShardedDurable, WalError,
+    };
 }

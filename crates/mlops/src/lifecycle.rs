@@ -102,12 +102,7 @@ pub fn run_lifecycle(
             ("no benchmark data".to_string(), false)
         } else {
             // Drift between the production model's era and the fresh window.
-            let reference = store.materialize(
-                lake,
-                platform,
-                train_start,
-                bench_start,
-            );
+            let reference = store.materialize(lake, platform, train_start, bench_start);
             let drift = psi_report_excluding(
                 &reference,
                 &benchmark,
@@ -116,10 +111,7 @@ pub fn run_lifecycle(
             );
             match cfg.policy.should_retrain(&drift, feedback) {
                 Some(reason) => (reason, true),
-                None => (
-                    format!("healthy (max PSI {:.3})", drift.max_psi()),
-                    false,
-                ),
+                None => (format!("healthy (max PSI {:.3})", drift.max_psi()), false),
             }
         };
 

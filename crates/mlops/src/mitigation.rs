@@ -77,9 +77,7 @@ pub fn evaluate_mitigation(
         if !alarmed.insert(alarm.dimm) {
             continue; // already handled
         }
-        let is_tp = ue_times
-            .get(&alarm.dimm)
-            .is_some_and(|&ue| alarm.time < ue);
+        let is_tp = ue_times.get(&alarm.dimm).is_some_and(|&ue| alarm.time < ue);
         if is_tp {
             tp += 1;
             saved.insert(alarm.dimm);

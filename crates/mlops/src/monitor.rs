@@ -4,8 +4,8 @@
 
 use crate::drift::DriftReport;
 use mfp_dram::address::DimmId;
-use mfp_obs::series_name;
 use mfp_dram::time::SimTime;
+use mfp_obs::series_name;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -35,9 +35,7 @@ impl Dashboard {
     /// Increments a counter (creating it at zero).
     pub fn incr(&self, name: &str, by: u64) {
         let mut m = self.metrics.write();
-        let e = m
-            .entry(name.to_string())
-            .or_insert(MetricValue::Counter(0));
+        let e = m.entry(name.to_string()).or_insert(MetricValue::Counter(0));
         if let MetricValue::Counter(c) = e {
             *c += by;
         }
@@ -71,7 +69,10 @@ impl Dashboard {
     pub fn import_telemetry(&self, snap: &mfp_obs::Snapshot) {
         let mut m = self.metrics.write();
         for c in &snap.counters {
-            m.insert(series_name(&c.name, &c.labels), MetricValue::Counter(c.value));
+            m.insert(
+                series_name(&c.name, &c.labels),
+                MetricValue::Counter(c.value),
+            );
         }
         for g in &snap.gauges {
             m.insert(series_name(&g.name, &g.labels), MetricValue::Gauge(g.value));
@@ -168,11 +169,7 @@ impl Default for RetrainPolicy {
 
 impl RetrainPolicy {
     /// Decides whether to retrain; returns the triggering reason.
-    pub fn should_retrain(
-        &self,
-        drift: &DriftReport,
-        feedback: &FeedbackLoop,
-    ) -> Option<String> {
+    pub fn should_retrain(&self, drift: &DriftReport, feedback: &FeedbackLoop) -> Option<String> {
         if drift.drifted(self.psi_threshold) {
             return Some(format!(
                 "feature drift: max PSI {:.3} > {:.3}",
@@ -242,6 +239,43 @@ mod tests {
         ));
         let text = d.render();
         assert!(text.contains("monitor_import_test_total{k=v}"));
+    }
+
+    #[test]
+    fn failover_telemetry_surfaces_in_the_dashboard_snapshot() {
+        // The self-healing serving path (crate::supervise + per-shard
+        // WALs) reports through these exact series; pin the names so the
+        // dashboard always carries restart/quarantine/replay state.
+        mfp_obs::counter("serve_shard_restarts", &[]).add(2);
+        mfp_obs::counter("serve_shard_quarantined", &[]).incr();
+        mfp_obs::counter("serve_shard_panics", &[]).add(3);
+        mfp_obs::counter("serve_shard_hangs", &[]).incr();
+        mfp_obs::counter("serve_shard_kills", &[]).incr();
+        mfp_obs::counter("wal_replay_records", &[("shard", "0")]).add(5);
+        mfp_obs::gauge("serve_live_shards", &[]).set(4.0);
+        let d = Dashboard::new();
+        d.import_telemetry(&mfp_obs::global().snapshot());
+        // Counters are process-global across parallel tests, so assert
+        // presence and floors, not exact values.
+        for series in [
+            "serve_shard_restarts",
+            "serve_shard_quarantined",
+            "serve_shard_panics",
+            "serve_shard_hangs",
+            "serve_shard_kills",
+            "wal_replay_records{shard=0}",
+        ] {
+            match d.get(series) {
+                Some(MetricValue::Counter(n)) => assert!(n >= 1, "{series} too low"),
+                other => panic!("{series} missing from dashboard: {other:?}"),
+            }
+        }
+        assert!(matches!(
+            d.get("serve_live_shards"),
+            Some(MetricValue::Gauge(v)) if v >= 0.0
+        ));
+        let snapshot = d.snapshot();
+        assert!(snapshot.contains_key("serve_shard_restarts"));
     }
 
     #[test]

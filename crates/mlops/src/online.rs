@@ -656,7 +656,11 @@ mod tests {
     fn no_production_model_means_no_alarms() {
         let lake = DataLake::new();
         let registry = ModelRegistry::new(); // nothing promoted
-        lake.register_dimm(DimmId::new(1, 0), Platform::IntelPurley, DimmSpec::default());
+        lake.register_dimm(
+            DimmId::new(1, 0),
+            Platform::IntelPurley,
+            DimmSpec::default(),
+        );
         let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
         let mut p = OnlinePredictor::new(
             &lake,

@@ -84,11 +84,7 @@ impl ModelRegistry {
     /// Returns false when the id is unknown.
     pub fn promote(&self, id: u64) -> bool {
         let mut entries = self.entries.write();
-        let Some(platform) = entries
-            .iter()
-            .find(|e| e.id == id)
-            .map(|e| e.platform)
-        else {
+        let Some(platform) = entries.iter().find(|e| e.id == id).map(|e| e.platform) else {
             return false;
         };
         for e in entries.iter_mut() {
@@ -115,9 +111,7 @@ impl ModelRegistry {
         let previous = entries
             .iter()
             .enumerate()
-            .filter(|(i, e)| {
-                *i != current && e.platform == platform && e.stage == Stage::Archived
-            })
+            .filter(|(i, e)| *i != current && e.platform == platform && e.stage == Stage::Archived)
             .max_by_key(|(_, e)| e.id)
             .map(|(i, _)| i)?;
         entries[current].stage = Stage::Archived;

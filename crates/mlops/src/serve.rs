@@ -54,6 +54,7 @@
 //! of the per-shard windows — fleet size never enters the bound.
 
 use crate::checkpoint::{OnlineCheckpoint, ServeCheckpoint};
+use crate::feature_store::FeatureStore;
 use crate::ingest::{ingest_bounded, IngestConfig, IngestOutput, IngestStats};
 use crate::lake::DataLake;
 use crate::online::{Alarm, OnlineConfig, OnlinePredictor, ScoreRecord};
@@ -62,7 +63,6 @@ use mfp_dram::address::DimmId;
 use mfp_dram::event::MemEvent;
 use mfp_dram::geometry::Platform;
 use mfp_dram::time::SimTime;
-use crate::feature_store::FeatureStore;
 use mfp_features::fault_analysis::FaultThresholds;
 use mfp_features::labeling::ProblemConfig;
 use std::collections::BTreeMap;
@@ -80,6 +80,16 @@ pub fn shard_of(dimm: DimmId, shards: usize) -> usize {
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
     (z % shards.max(1) as u64) as usize
+}
+
+/// Routes one normalized ingest output to its home shard: the DIMM the
+/// output concerns, through [`shard_of`]. Gap notices follow the DIMM
+/// they describe so streak resets land on the shard that scores it.
+pub fn shard_route(out: &crate::ingest::IngestOutput, shards: usize) -> usize {
+    match out {
+        crate::ingest::IngestOutput::Released(e) => shard_of(e.dimm(), shards),
+        crate::ingest::IngestOutput::Gap(g) => shard_of(g.dimm, shards),
+    }
 }
 
 /// Builds one [`FeatureStore`] per shard with identical configuration.
@@ -212,7 +222,11 @@ impl<'a> ShardedOnline<'a> {
     /// All alarms raised so far, merged by `(time, dimm)` — bit-identical
     /// to the sequential predictor's alarm log for the same stream.
     pub fn alarms(&self) -> Vec<Alarm> {
-        let mut out: Vec<Alarm> = self.shards.iter().flat_map(|s| s.alarms().iter().copied()).collect();
+        let mut out: Vec<Alarm> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.alarms().iter().copied())
+            .collect();
         out.sort_by_key(|a| (a.time, a.dimm));
         out
     }
@@ -576,13 +590,20 @@ where
 
     let mut results: Vec<ShardResult> = result_rx.into_iter().collect();
     results.sort_by_key(|r| r.shard);
-    let mut alarms: Vec<Alarm> = results.iter().flat_map(|r| r.alarms.iter().copied()).collect();
+    let mut alarms: Vec<Alarm> = results
+        .iter()
+        .flat_map(|r| r.alarms.iter().copied())
+        .collect();
     alarms.sort_by_key(|a| (a.time, a.dimm));
-    let mut scores: Vec<ScoreRecord> =
-        results.iter().flat_map(|r| r.scores.iter().copied()).collect();
+    let mut scores: Vec<ScoreRecord> = results
+        .iter()
+        .flat_map(|r| r.scores.iter().copied())
+        .collect();
     scores.sort_by_key(|r| (r.time, r.dimm));
-    let mut errors: Vec<ServeError> =
-        results.iter_mut().flat_map(|r| std::mem::take(&mut r.errors)).collect();
+    let mut errors: Vec<ServeError> = results
+        .iter_mut()
+        .flat_map(|r| std::mem::take(&mut r.errors))
+        .collect();
     let checkpoint = if scfg.capture_checkpoint {
         // A shard that produced no snapshot makes the set incoherent:
         // degrade to `None` and report which shard, instead of aborting.
@@ -758,13 +779,17 @@ mod tests {
         let registry = ModelRegistry::new();
         let dimms = setup(&lake, &registry);
         let events = stream(&dimms);
-        let end = SimTime::from_secs(events.last().unwrap().time().as_secs()) + SimDuration::days(2);
+        let end =
+            SimTime::from_secs(events.last().unwrap().time().as_secs()) + SimDuration::days(2);
         let cfg = OnlineConfig {
             degraded_grace: SimDuration::hours(12),
             ..OnlineConfig::default()
         };
         let (alarms, scores, scored) = sequential_oracle(&lake, &registry, &events, cfg, end);
-        assert!(!alarms.is_empty(), "stream must alarm or the test is vacuous");
+        assert!(
+            !alarms.is_empty(),
+            "stream must alarm or the test is vacuous"
+        );
 
         for shards in [1usize, 2, 3, 4, 8] {
             let stores = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
@@ -775,8 +800,16 @@ mod tests {
                 engine.observe(e);
             }
             engine.finish(end);
-            assert_eq!(engine.alarms(), alarms, "alarms diverged at {shards} shards");
-            assert_eq!(engine.scores(), scores, "scores diverged at {shards} shards");
+            assert_eq!(
+                engine.alarms(),
+                alarms,
+                "alarms diverged at {shards} shards"
+            );
+            assert_eq!(
+                engine.scores(),
+                scores,
+                "scores diverged at {shards} shards"
+            );
             assert_eq!(engine.scored(), scored);
             assert_eq!(engine.stale_rejected(), 0);
         }
@@ -788,7 +821,8 @@ mod tests {
         let registry = ModelRegistry::new();
         let dimms = setup(&lake, &registry);
         let events = stream(&dimms);
-        let end = SimTime::from_secs(events.last().unwrap().time().as_secs()) + SimDuration::days(2);
+        let end =
+            SimTime::from_secs(events.last().unwrap().time().as_secs()) + SimDuration::days(2);
         let cfg = OnlineConfig::default();
         let (alarms, scores, scored) = sequential_oracle(&lake, &registry, &events, cfg, end);
         assert!(!alarms.is_empty());
@@ -825,18 +859,31 @@ mod tests {
             );
             assert_eq!(outcome.scored, scored);
             assert_eq!(outcome.stale_rejected, 0);
-            assert!(outcome.errors.is_empty(), "healthy run must report no faults");
+            assert!(
+                outcome.errors.is_empty(),
+                "healthy run must report no faults"
+            );
             assert_eq!(outcome.ingest.released, events.len() as u64);
             assert_eq!(outcome.stats.events_routed, events.len() as u64);
             assert_eq!(outcome.stats.shards, shards);
             assert_eq!(outcome.stats.workers, workers.min(shards));
             assert_eq!(outcome.stats.per_shard.len(), shards);
             assert_eq!(
-                outcome.stats.per_shard.iter().map(|s| s.events).sum::<u64>(),
+                outcome
+                    .stats
+                    .per_shard
+                    .iter()
+                    .map(|s| s.events)
+                    .sum::<u64>(),
                 events.len() as u64
             );
             assert_eq!(
-                outcome.stats.per_shard.iter().map(|s| s.scored).sum::<u64>(),
+                outcome
+                    .stats
+                    .per_shard
+                    .iter()
+                    .map(|s| s.scored)
+                    .sum::<u64>(),
                 scored
             );
         }
@@ -923,7 +970,8 @@ mod tests {
         let dimms = setup(&lake, &registry);
         let events = stream(&dimms);
         let split = events.len() / 2;
-        let end = SimTime::from_secs(events.last().unwrap().time().as_secs()) + SimDuration::days(2);
+        let end =
+            SimTime::from_secs(events.last().unwrap().time().as_secs()) + SimDuration::days(2);
         let cfg = OnlineConfig::default();
         let (ref_alarms, _, ref_scored) = sequential_oracle(&lake, &registry, &events, cfg, end);
 
@@ -1000,7 +1048,10 @@ mod tests {
             worker: 0,
         };
         let text = misroute.to_string();
-        assert!(text.contains("shard 3") && text.contains("worker 0"), "{text}");
+        assert!(
+            text.contains("shard 3") && text.contains("worker 0"),
+            "{text}"
+        );
         let partial = ServeError::MissingCapture { shard: 5 };
         assert!(partial.to_string().contains("shard 5"));
     }

@@ -44,19 +44,54 @@
 //! number of the record's first output, so a batch of `k` events covers
 //! `seq..seq+k`. Decoding is bounds-checked like `MFC1`: a corrupted
 //! length can neither over-read nor over-allocate.
+//!
+//! # Per-shard durability (`MFW2`)
+//!
+//! [`DurableOnline`] keeps one log in front of the whole engine, so one
+//! crashed shard stalls the fleet behind a full replay. The `MFW2`
+//! *directory* layout splits durability to shard granularity:
+//!
+//! ```text
+//! root/
+//!   meta.bin             "MFW2" version shard_count:u32 crc32
+//!   shard-000/
+//!     wal.log            MFW1 record log, per-shard sequence numbers
+//!     checkpoint.bin     MFD1 container: applied watermark + MFC1 payload
+//!     quarantine.log     MFW1 side log of quarantined outputs (optional)
+//!   shard-001/ ...
+//! ```
+//!
+//! Each [`DurableShard`] reuses the `MFW1` record codec and the `MFD1`
+//! applied-output watermark unchanged — only the sequence numbers are
+//! per-shard (the position of the output in *that shard's* routed
+//! sub-stream, which is itself deterministic because routing is the pure
+//! hash `crate::serve::shard_of`). A shard therefore recovers
+//! **independently**: restore its own checkpoint, replay its own longest
+//! valid prefix, never read a sibling's files. [`ShardedDurable`] is the
+//! unsupervised composition (`crate::supervise` adds restarts, backoff
+//! and quarantine on top); on resume the caller re-feeds the stream from
+//! the start and each shard skips the prefix it already covered.
+//!
+//! Every state mutation goes through an *apply guard* — a closure that
+//! may apply, skip, or report a crash for each durable output. The
+//! default guard just applies; the supervisor's guard wraps the apply in
+//! `catch_unwind` and consults its quarantine set, which is what turns a
+//! poison record (durable before it ever crashed the shard — the price
+//! of write-ahead ordering) from a crash loop into a skipped output.
 
-use crate::checkpoint::{CheckpointError, ServeCheckpoint};
+use crate::checkpoint::{CheckpointError, OnlineCheckpoint, ServeCheckpoint};
 use crate::feature_store::FeatureStore;
 use crate::ingest::{GapRecord, IngestOutput};
 use crate::lake::DataLake;
-use crate::online::{Alarm, OnlineConfig, ScoreRecord};
+use crate::online::{Alarm, OnlineConfig, OnlinePredictor, ScoreRecord};
 use crate::registry::ModelRegistry;
-use crate::serve::ShardedOnline;
+use crate::serve::{shard_route, ShardedOnline};
 use mfp_dram::address::DimmId;
 use mfp_dram::bmc::BmcLog;
 use mfp_dram::event::MemEvent;
 use mfp_dram::geometry::Platform;
 use mfp_dram::time::SimTime;
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
@@ -84,7 +119,11 @@ pub fn crc32(data: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             table[i] = c;
@@ -178,6 +217,18 @@ pub enum WalError {
     BadHeader,
     /// The checkpoint file failed to decode.
     Checkpoint(CheckpointError),
+    /// The `MFW2` meta file is corrupt or not a meta file.
+    BadMeta(&'static str),
+    /// The on-disk state was captured with a different shard count than
+    /// the caller's stores — resharding a snapshot is unsound (see
+    /// [`ServeCheckpoint::restore`]), so this fails as data instead of
+    /// panicking inside the restore.
+    ShardCountMismatch {
+        /// Shards recorded on disk.
+        captured: usize,
+        /// Feature stores the caller supplied.
+        stores: usize,
+    },
 }
 
 impl fmt::Display for WalError {
@@ -186,6 +237,11 @@ impl fmt::Display for WalError {
             WalError::Io(e) => write!(f, "wal i/o: {e}"),
             WalError::BadHeader => write!(f, "not a MFW1 write-ahead log"),
             WalError::Checkpoint(e) => write!(f, "wal checkpoint: {e}"),
+            WalError::BadMeta(what) => write!(f, "wal meta: {what}"),
+            WalError::ShardCountMismatch { captured, stores } => write!(
+                f,
+                "wal shard count mismatch: disk has {captured} shards, caller has {stores} stores"
+            ),
         }
     }
 }
@@ -217,7 +273,13 @@ impl From<CheckpointError> for WalError {
 /// [`WalError::BadHeader`] when the leading bytes mismatch the `MFW1`
 /// header (as opposed to merely being cut short).
 pub fn scan(data: &[u8]) -> Result<WalContents, WalError> {
-    let header = [WAL_MAGIC[0], WAL_MAGIC[1], WAL_MAGIC[2], WAL_MAGIC[3], WAL_VERSION];
+    let header = [
+        WAL_MAGIC[0],
+        WAL_MAGIC[1],
+        WAL_MAGIC[2],
+        WAL_MAGIC[3],
+        WAL_VERSION,
+    ];
     if data.len() < HEADER_LEN {
         return if header.starts_with(data) {
             Ok(WalContents {
@@ -291,12 +353,24 @@ fn decode_record(data: &[u8]) -> Option<WalRecord> {
             let server = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
             let slot = payload[4];
             let from = u64::from_be_bytes([
-                payload[5], payload[6], payload[7], payload[8], payload[9], payload[10],
-                payload[11], payload[12],
+                payload[5],
+                payload[6],
+                payload[7],
+                payload[8],
+                payload[9],
+                payload[10],
+                payload[11],
+                payload[12],
             ]);
             let to = u64::from_be_bytes([
-                payload[13], payload[14], payload[15], payload[16], payload[17], payload[18],
-                payload[19], payload[20],
+                payload[13],
+                payload[14],
+                payload[15],
+                payload[16],
+                payload[17],
+                payload[18],
+                payload[19],
+                payload[20],
             ]);
             Some(WalRecord {
                 seq,
@@ -355,6 +429,13 @@ pub struct RecoveryReport {
     pub outputs_skipped: u64,
     /// Bytes of torn tail truncated from the WAL.
     pub torn_tail_bytes: u64,
+    /// WAL outputs consumed without applying because the shard's
+    /// quarantine side log lists them (per-shard recovery only).
+    pub outputs_quarantined: u64,
+    /// Per-shard replay aborted: the apply guard reported a crash at
+    /// this sequence number (the output is a poison candidate; the
+    /// supervisor counts the crash and retries or quarantines).
+    pub replay_crashed: Option<u64>,
 }
 
 /// Telemetry handles for the durability path, resolved once per engine.
@@ -391,24 +472,33 @@ impl WalMetrics {
     }
 }
 
-/// Magic bytes of the durable checkpoint container (wrapping an `MFS1`
-/// payload with the applied-output watermark).
+/// Magic bytes of the durable checkpoint container: an `MFS1` (whole
+/// engine) or `MFC1` (single shard) payload wrapped with the
+/// applied-output watermark.
 const CKPT_MAGIC: [u8; 4] = *b"MFD1";
 const CKPT_VERSION: u8 = 1;
+/// Magic bytes of the `MFW2` per-shard directory meta file.
+const META_MAGIC: [u8; 4] = *b"MFW2";
+const META_VERSION: u8 = 1;
 
-fn encode_durable_checkpoint(applied: u64, cp: &ServeCheckpoint) -> Vec<u8> {
-    let payload = cp.encode();
+/// Wraps a checkpoint payload in the `MFD1` container: magic, version,
+/// the applied-output watermark, the payload length-prefixed, and a
+/// trailing CRC over everything before it.
+fn encode_durable_envelope(applied: u64, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + 16 + payload.len() + 4);
     out.extend_from_slice(&CKPT_MAGIC);
     out.push(CKPT_VERSION);
     out.extend_from_slice(&applied.to_be_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_be_bytes());
-    out.extend_from_slice(&payload);
+    out.extend_from_slice(payload);
     out.extend_from_slice(&crc32(&out).to_be_bytes());
     out
 }
 
-fn decode_durable_checkpoint(data: &[u8]) -> Result<(u64, ServeCheckpoint), WalError> {
+/// Unwraps an `MFD1` container, returning the applied watermark and the
+/// embedded checkpoint payload (still encoded — the caller knows whether
+/// it holds an `MFS1` or `MFC1` snapshot).
+fn decode_durable_envelope(data: &[u8]) -> Result<(u64, &[u8]), WalError> {
     if data.len() < HEADER_LEN + 16 + 4 || data[..4] != CKPT_MAGIC || data[4] != CKPT_VERSION {
         return Err(WalError::Checkpoint(CheckpointError::BadMagic));
     }
@@ -425,8 +515,16 @@ fn decode_durable_checkpoint(data: &[u8]) -> Result<(u64, ServeCheckpoint), WalE
     if body.len() - (HEADER_LEN + 16) != plen {
         return Err(WalError::Checkpoint(CheckpointError::Truncated));
     }
-    let cp = ServeCheckpoint::decode(&body[HEADER_LEN + 16..])?;
-    Ok((applied, cp))
+    Ok((applied, &body[HEADER_LEN + 16..]))
+}
+
+fn encode_durable_checkpoint(applied: u64, cp: &ServeCheckpoint) -> Vec<u8> {
+    encode_durable_envelope(applied, &cp.encode())
+}
+
+fn decode_durable_checkpoint(data: &[u8]) -> Result<(u64, ServeCheckpoint), WalError> {
+    let (applied, payload) = decode_durable_envelope(data)?;
+    Ok((applied, ServeCheckpoint::decode(payload)?))
 }
 
 /// Writes `bytes` to `path` atomically: a sibling temp file is written,
@@ -439,6 +537,105 @@ fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         f.sync_data()?;
     }
     fs::rename(&tmp, path)
+}
+
+/// Syncs a directory's entry table. An atomic rename is only durable
+/// against power loss once the *directory* is synced — without this, the
+/// checkpoint rename and the WAL reset that follows it can reorder on
+/// the platter and recovery would see a stale checkpoint next to an
+/// already-emptied log.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Creates a fresh WAL file at `path` containing only the header.
+fn create_wal(path: &Path) -> Result<File, WalError> {
+    let mut f = File::create(path)?;
+    f.write_all(&WAL_MAGIC)?;
+    f.write_all(&[WAL_VERSION])?;
+    f.sync_data()?;
+    Ok(f)
+}
+
+/// Resets a WAL to empty via the atomic-rename pattern and re-opens it
+/// for append: a crash here leaves either the old full log (outputs
+/// skipped on replay) or the fresh empty one.
+fn reset_wal(path: &Path) -> Result<File, WalError> {
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&WAL_MAGIC);
+    header.push(WAL_VERSION);
+    atomic_write(path, &header)?;
+    Ok(OpenOptions::new().append(true).open(path)?)
+}
+
+/// Opens (creating if absent) the WAL at `path`: scans the longest valid
+/// record prefix, truncates any torn tail (or rewrites a torn header),
+/// and returns the scanned contents plus the file positioned for append.
+fn recover_wal_file(path: &Path) -> Result<(File, WalContents), WalError> {
+    match fs::read(path) {
+        Ok(bytes) => {
+            let contents = scan(&bytes)?;
+            let file = OpenOptions::new().write(true).open(path)?;
+            let file = if contents.valid_bytes < HEADER_LEN as u64 {
+                file.set_len(0)?;
+                let mut f = file;
+                f.write_all(&WAL_MAGIC)?;
+                f.write_all(&[WAL_VERSION])?;
+                f.sync_data()?;
+                f
+            } else {
+                file.set_len(contents.valid_bytes)?;
+                let mut f = file;
+                std::io::Seek::seek(&mut f, std::io::SeekFrom::End(0))?;
+                f
+            };
+            Ok((file, contents))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok((
+            create_wal(path)?,
+            WalContents {
+                records: Vec::new(),
+                valid_bytes: HEADER_LEN as u64,
+                torn_bytes: 0,
+            },
+        )),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Groups a run of pending outputs into WAL records starting at sequence
+/// number `seq`: contiguous released events batch into one record, each
+/// gap gets its own.
+fn batch_outputs(pending: &[IngestOutput], mut seq: u64) -> Vec<WalRecord> {
+    let mut records = Vec::new();
+    let mut run: Vec<MemEvent> = Vec::new();
+    for out in pending {
+        match out {
+            IngestOutput::Released(e) => run.push(*e),
+            IngestOutput::Gap(g) => {
+                if !run.is_empty() {
+                    let n = run.len() as u64;
+                    records.push(WalRecord {
+                        seq,
+                        payload: WalPayload::Events(std::mem::take(&mut run)),
+                    });
+                    seq += n;
+                }
+                records.push(WalRecord {
+                    seq,
+                    payload: WalPayload::Gap(*g),
+                });
+                seq += 1;
+            }
+        }
+    }
+    if !run.is_empty() {
+        records.push(WalRecord {
+            seq,
+            payload: WalPayload::Events(run),
+        });
+    }
+    records
 }
 
 /// A [`ShardedOnline`] engine behind a write-ahead log: every accepted
@@ -502,6 +699,12 @@ impl<'a> DurableOnline<'a> {
         let mut engine = match fs::read(&ckpt_path) {
             Ok(bytes) => {
                 let (applied, cp) = decode_durable_checkpoint(&bytes)?;
+                if cp.shards.len() != stores.len() {
+                    return Err(WalError::ShardCountMismatch {
+                        captured: cp.shards.len(),
+                        stores: stores.len(),
+                    });
+                }
                 report.checkpoint_applied = applied;
                 cp.restore(lake, stores, registry)
             }
@@ -514,64 +717,35 @@ impl<'a> DurableOnline<'a> {
         let mut next_seq = report.checkpoint_applied;
 
         // 2. Replay the WAL tail past the checkpoint watermark.
-        let wal_path = dir.join("wal.log");
-        let file = match fs::read(&wal_path) {
-            Ok(bytes) => {
-                let contents = scan(&bytes)?;
-                report.wal_records = contents.records.len() as u64;
-                report.torn_tail_bytes = contents.torn_bytes;
-                if contents.torn_bytes > 0 {
-                    metrics.torn_tails.incr();
-                }
-                for record in &contents.records {
-                    match &record.payload {
-                        WalPayload::Events(events) => {
-                            for (i, e) in events.iter().enumerate() {
-                                if record.seq + i as u64 >= report.checkpoint_applied {
-                                    engine.observe(e);
-                                    report.outputs_replayed += 1;
-                                } else {
-                                    report.outputs_skipped += 1;
-                                }
-                            }
-                        }
-                        WalPayload::Gap(gap) => {
-                            if record.seq >= report.checkpoint_applied {
-                                engine.note_gap(gap.dimm);
-                                report.outputs_replayed += 1;
-                            } else {
-                                report.outputs_skipped += 1;
-                            }
+        let (file, contents) = recover_wal_file(&dir.join("wal.log"))?;
+        report.wal_records = contents.records.len() as u64;
+        report.torn_tail_bytes = contents.torn_bytes;
+        if contents.torn_bytes > 0 {
+            metrics.torn_tails.incr();
+        }
+        for record in &contents.records {
+            match &record.payload {
+                WalPayload::Events(events) => {
+                    for (i, e) in events.iter().enumerate() {
+                        if record.seq + i as u64 >= report.checkpoint_applied {
+                            engine.observe(e);
+                            report.outputs_replayed += 1;
+                        } else {
+                            report.outputs_skipped += 1;
                         }
                     }
-                    next_seq = next_seq.max(record.seq + record.outputs());
                 }
-                // Truncate the torn tail (and a torn header) so appends
-                // resume at the end of the valid prefix.
-                let file = OpenOptions::new().write(true).open(&wal_path)?;
-                if contents.valid_bytes < HEADER_LEN as u64 {
-                    file.set_len(0)?;
-                    let mut f = file;
-                    f.write_all(&WAL_MAGIC)?;
-                    f.write_all(&[WAL_VERSION])?;
-                    f.sync_data()?;
-                    f
-                } else {
-                    file.set_len(contents.valid_bytes)?;
-                    let mut f = file;
-                    std::io::Seek::seek(&mut f, std::io::SeekFrom::End(0))?;
-                    f
+                WalPayload::Gap(gap) => {
+                    if record.seq >= report.checkpoint_applied {
+                        engine.note_gap(gap.dimm);
+                        report.outputs_replayed += 1;
+                    } else {
+                        report.outputs_skipped += 1;
+                    }
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                let mut f = File::create(&wal_path)?;
-                f.write_all(&WAL_MAGIC)?;
-                f.write_all(&[WAL_VERSION])?;
-                f.sync_data()?;
-                f
-            }
-            Err(e) => return Err(e.into()),
-        };
+            next_seq = next_seq.max(record.seq + record.outputs());
+        }
         metrics.replay_records.add(report.wal_records);
         metrics.replay_outputs.add(report.outputs_replayed);
         metrics.replay_skipped.add(report.outputs_skipped);
@@ -614,35 +788,7 @@ impl<'a> DurableOnline<'a> {
         }
         let span = self.metrics.flush_seconds.time();
         let pending = std::mem::take(&mut self.pending);
-        let mut records = Vec::new();
-        let mut seq = self.next_seq;
-        let mut run: Vec<MemEvent> = Vec::new();
-        for out in &pending {
-            match out {
-                IngestOutput::Released(e) => run.push(*e),
-                IngestOutput::Gap(g) => {
-                    if !run.is_empty() {
-                        let n = run.len() as u64;
-                        records.push(WalRecord {
-                            seq,
-                            payload: WalPayload::Events(std::mem::take(&mut run)),
-                        });
-                        seq += n;
-                    }
-                    records.push(WalRecord {
-                        seq,
-                        payload: WalPayload::Gap(*g),
-                    });
-                    seq += 1;
-                }
-            }
-        }
-        if !run.is_empty() {
-            records.push(WalRecord {
-                seq,
-                payload: WalPayload::Events(run),
-            });
-        }
+        let records = batch_outputs(&pending, self.next_seq);
         for record in &records {
             let bytes = encode_record(record);
             self.wal.write_all(&bytes)?;
@@ -681,16 +827,19 @@ impl<'a> DurableOnline<'a> {
         let cp = ServeCheckpoint::capture(&self.engine, self.stores);
         let bytes = encode_durable_checkpoint(self.next_seq, &cp);
         atomic_write(&self.dir.join("checkpoint.bin"), &bytes)?;
+        // Under fsync, persist the checkpoint's directory entry BEFORE
+        // the WAL reset rename: power loss must never observe the
+        // reset-but-unsynced log next to the pre-compaction checkpoint.
+        if self.cfg.fsync {
+            fsync_dir(&self.dir)?;
+        }
         // Reset the WAL via the same atomic-rename pattern: a crash here
         // leaves either the old full log (outputs skipped on replay) or
         // the fresh empty one.
-        let wal_path = self.dir.join("wal.log");
-        let mut header = Vec::with_capacity(HEADER_LEN);
-        header.extend_from_slice(&WAL_MAGIC);
-        header.push(WAL_VERSION);
-        atomic_write(&wal_path, &header)?;
-        let file = OpenOptions::new().append(true).open(&wal_path)?;
-        self.wal = BufWriter::new(file);
+        self.wal = BufWriter::new(reset_wal(&self.dir.join("wal.log"))?);
+        if self.cfg.fsync {
+            fsync_dir(&self.dir)?;
+        }
         self.records_since_compact = 0;
         self.metrics.compactions.incr();
         Ok(())
@@ -711,9 +860,17 @@ impl<'a> DurableOnline<'a> {
     /// (end of stream). Ticks are a deterministic function of durable
     /// state, so they are not logged — recovery replays the WAL and the
     /// caller re-invokes `finish`.
+    ///
+    /// When compaction is enabled, shutdown ends with a final compaction
+    /// (checkpoint rename, then WAL reset, each directory-synced under
+    /// [`DurableConfig::fsync`]) so a kill right after `finish` restarts
+    /// from the checkpoint instead of replaying the whole log.
     pub fn finish(&mut self, until: SimTime) -> Result<(), WalError> {
         self.flush()?;
         self.engine.finish(until);
+        if self.cfg.compact_every != u64::MAX {
+            self.compact()?;
+        }
         Ok(())
     }
 
@@ -742,6 +899,581 @@ impl<'a> DurableOnline<'a> {
     /// Total model invocations across shards.
     pub fn scored(&self) -> u64 {
         self.engine.scored()
+    }
+}
+
+// ---------------------------------------------------------------- MFW2 --
+
+/// What a guarded apply decided to do with one durable output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyVerdict {
+    /// The output was applied to the predictor.
+    Applied,
+    /// The output was deliberately not applied (e.g. quarantined by the
+    /// supervisor); the shard's consumed watermark still advances.
+    Skipped,
+    /// Applying panicked (the guard caught it). The shard's in-memory
+    /// state is suspect: drop it and re-open — the output stays durable
+    /// in the WAL and replay retries it through the same guard.
+    Crashed,
+}
+
+/// The supervisor's hook into state mutation: every durable output
+/// passes through the guard before (or instead of) touching the
+/// predictor. The default guard applies unconditionally; the supervised
+/// guard adds `catch_unwind` and poison quarantine.
+pub type Guard<'g, 'a> =
+    dyn FnMut(&mut OnlinePredictor<'a>, &IngestOutput, u64) -> ApplyVerdict + 'g;
+
+/// Outcome of a guarded flush: either every newly durable output was
+/// consumed, or consumption stopped at a crashing output (everything
+/// from `seq` on is durable but unapplied — drop the shard and recover).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushStatus {
+    /// All durable outputs were applied or skipped.
+    Clean,
+    /// The guard reported a crash at this per-shard sequence number.
+    Crashed {
+        /// Per-shard sequence number of the crashing output.
+        seq: u64,
+    },
+}
+
+/// The directory holding shard `shard`'s log, checkpoint and quarantine
+/// side log under an `MFW2` root.
+pub fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("shard-{shard:03}"))
+}
+
+/// Appends one output to a shard directory's quarantine side log
+/// (`quarantine.log`, plain `MFW1` records keyed by per-shard sequence
+/// number), creating the log on first use. Recovery skips listed
+/// sequence numbers instead of replaying them; deleting the file is the
+/// operator's escape hatch to retry everything in it.
+pub fn quarantine_output(shard_dir: &Path, seq: u64, out: &IngestOutput) -> Result<(), WalError> {
+    let record = WalRecord {
+        seq,
+        payload: match out {
+            IngestOutput::Released(e) => WalPayload::Events(vec![*e]),
+            IngestOutput::Gap(g) => WalPayload::Gap(*g),
+        },
+    };
+    let path = shard_dir.join("quarantine.log");
+    let mut f = match OpenOptions::new().append(true).open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => create_wal(&path)?,
+        Err(e) => return Err(e.into()),
+    };
+    f.write_all(&encode_record(&record))?;
+    f.sync_data()?;
+    mfp_obs::counter("serve_shard_quarantined", &[]).incr();
+    Ok(())
+}
+
+/// Scans a shard directory's quarantine side log; an absent file is an
+/// empty quarantine. Only the valid record prefix is honored (a torn
+/// quarantine append re-crashes at worst once more, then re-quarantines).
+pub fn scan_quarantine(shard_dir: &Path) -> Result<Vec<WalRecord>, WalError> {
+    match fs::read(shard_dir.join("quarantine.log")) {
+        Ok(bytes) => Ok(scan(&bytes)?.records),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Validates (or creates) the `MFW2` meta file recording the root's
+/// shard count.
+pub(crate) fn check_meta(root: &Path, shards: usize) -> Result<(), WalError> {
+    let path = root.join("meta.bin");
+    match fs::read(&path) {
+        Ok(bytes) => {
+            if bytes.len() != 4 + 1 + 4 + 4 || bytes[..4] != META_MAGIC || bytes[4] != META_VERSION
+            {
+                return Err(WalError::BadMeta("not an MFW2 meta file"));
+            }
+            let (body, tail) = bytes.split_at(bytes.len() - 4);
+            if crc32(body) != u32::from_be_bytes([tail[0], tail[1], tail[2], tail[3]]) {
+                return Err(WalError::BadMeta("meta checksum mismatch"));
+            }
+            let captured = u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]) as usize;
+            if captured != shards {
+                return Err(WalError::ShardCountMismatch {
+                    captured,
+                    stores: shards,
+                });
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let mut out = Vec::with_capacity(13);
+            out.extend_from_slice(&META_MAGIC);
+            out.push(META_VERSION);
+            out.extend_from_slice(&(shards as u32).to_be_bytes());
+            out.extend_from_slice(&crc32(&out).to_be_bytes());
+            atomic_write(&path, &out)?;
+            Ok(())
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// One predictor shard behind its own `MFW1` log and `MFD1` checkpoint
+/// chain — the unit of independent recovery in the `MFW2` layout and the
+/// restartable unit `crate::supervise` manages.
+///
+/// Sequence numbers are per-shard: output `k` is the `k`-th output ever
+/// routed to this shard, a stable coordinate across restarts because
+/// routing is a pure hash of DIMM identity. Opening never touches a
+/// sibling shard's files, so shards recover (and fail) independently.
+///
+/// All consumption goes through an apply [`Guard`]; after a
+/// [`FlushStatus::Crashed`] or a [`RecoveryReport::replay_crashed`] the
+/// instance must be dropped and re-opened.
+#[derive(Debug)]
+pub struct DurableShard<'a> {
+    dir: PathBuf,
+    predictor: OnlinePredictor<'a>,
+    store: &'a FeatureStore,
+    wal: BufWriter<File>,
+    pending: Vec<IngestOutput>,
+    /// Outputs durably on disk (checkpoint watermark + valid log).
+    durable_seq: u64,
+    /// Outputs applied or skipped; trails `durable_seq` only after a
+    /// crash verdict.
+    consumed_seq: u64,
+    quarantined: BTreeSet<u64>,
+    records_since_compact: u64,
+    cfg: DurableConfig,
+    metrics: WalMetrics,
+}
+
+impl<'a> DurableShard<'a> {
+    /// Opens (or creates) one shard rooted at `dir`: restores its `MFD1`
+    /// checkpoint if present (otherwise resets `store` so an in-process
+    /// restart starts clean), loads its quarantine set, then replays its
+    /// own longest valid WAL prefix through `guard`. A guard crash
+    /// during replay aborts consumption at that output and is reported
+    /// in [`RecoveryReport::replay_crashed`]; everything scanned stays
+    /// durable.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a corrupt checkpoint container, or a WAL whose
+    /// header is not `MFW1`. Torn tails are measured and truncated, not
+    /// errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        lake: &'a DataLake,
+        store: &'a FeatureStore,
+        registry: &'a ModelRegistry,
+        platform: Platform,
+        online: OnlineConfig,
+        cfg: DurableConfig,
+        shard: usize,
+        guard: &mut Guard<'_, 'a>,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let metrics = WalMetrics::new();
+        let mut report = RecoveryReport::default();
+        let replay_span = metrics.replay_seconds.time();
+
+        let quarantined: BTreeSet<u64> = scan_quarantine(&dir)?.iter().map(|r| r.seq).collect();
+
+        // 1. This shard's checkpoint, if any.
+        let mut predictor = match fs::read(dir.join("checkpoint.bin")) {
+            Ok(bytes) => {
+                let (applied, payload) = decode_durable_envelope(&bytes)?;
+                let cp = OnlineCheckpoint::decode(payload)?;
+                report.checkpoint_applied = applied;
+                cp.restore(lake, store, registry)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // No checkpoint: the store may still hold streams from a
+                // previous in-process incarnation — recovery is
+                // checkpoint + WAL only, so start it empty.
+                store.import_streams(Vec::new());
+                OnlinePredictor::new(lake, store, registry, platform, online)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        predictor.set_score_trace(cfg.record_scores);
+
+        // 2. Replay this shard's WAL tail past the watermark. Nothing
+        // here reads another shard's directory.
+        let (file, contents) = recover_wal_file(&dir.join("wal.log"))?;
+        report.wal_records = contents.records.len() as u64;
+        report.torn_tail_bytes = contents.torn_bytes;
+        if contents.torn_bytes > 0 {
+            metrics.torn_tails.incr();
+        }
+        let mut durable_seq = report.checkpoint_applied;
+        let mut consumed_seq = report.checkpoint_applied;
+        for record in &contents.records {
+            let outs: Vec<(u64, IngestOutput)> = match &record.payload {
+                WalPayload::Events(events) => events
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (record.seq + i as u64, IngestOutput::Released(*e)))
+                    .collect(),
+                WalPayload::Gap(g) => vec![(record.seq, IngestOutput::Gap(*g))],
+            };
+            for (seq, out) in &outs {
+                durable_seq = durable_seq.max(seq + 1);
+                if *seq < report.checkpoint_applied {
+                    report.outputs_skipped += 1;
+                    continue;
+                }
+                if report.replay_crashed.is_some() {
+                    continue;
+                }
+                if quarantined.contains(seq) {
+                    report.outputs_quarantined += 1;
+                    consumed_seq = seq + 1;
+                    continue;
+                }
+                match guard(&mut predictor, out, *seq) {
+                    ApplyVerdict::Applied => {
+                        report.outputs_replayed += 1;
+                        consumed_seq = seq + 1;
+                    }
+                    ApplyVerdict::Skipped => {
+                        report.outputs_quarantined += 1;
+                        consumed_seq = seq + 1;
+                    }
+                    ApplyVerdict::Crashed => report.replay_crashed = Some(*seq),
+                }
+            }
+        }
+        metrics.replay_records.add(report.wal_records);
+        metrics.replay_outputs.add(report.outputs_replayed);
+        metrics.replay_skipped.add(report.outputs_skipped);
+        let label = shard.to_string();
+        mfp_obs::counter("wal_replay_records", &[("shard", &label)]).add(report.wal_records);
+        replay_span.stop();
+
+        Ok((
+            DurableShard {
+                dir,
+                predictor,
+                store,
+                wal: BufWriter::new(file),
+                pending: Vec::with_capacity(cfg.batch.max(1)),
+                durable_seq,
+                consumed_seq,
+                quarantined,
+                records_since_compact: 0,
+                cfg,
+                metrics,
+            },
+            report,
+        ))
+    }
+
+    /// Accepts the next output routed to this shard: buffered, logged on
+    /// the next flush, then consumed through `guard`.
+    pub fn push(
+        &mut self,
+        out: IngestOutput,
+        guard: &mut Guard<'_, 'a>,
+    ) -> Result<FlushStatus, WalError> {
+        self.pending.push(out);
+        if self.pending.len() >= self.cfg.batch.max(1) {
+            return self.flush(guard);
+        }
+        Ok(FlushStatus::Clean)
+    }
+
+    /// Makes every buffered output durable, then consumes each through
+    /// `guard` — the same write-ahead ordering as [`DurableOnline`]. On
+    /// a crash verdict the remaining outputs stay durable but unapplied
+    /// and the caller must drop + re-open the shard.
+    pub fn flush(&mut self, guard: &mut Guard<'_, 'a>) -> Result<FlushStatus, WalError> {
+        if self.pending.is_empty() {
+            return Ok(FlushStatus::Clean);
+        }
+        let span = self.metrics.flush_seconds.time();
+        let pending = std::mem::take(&mut self.pending);
+        let records = batch_outputs(&pending, self.durable_seq);
+        for record in &records {
+            let bytes = encode_record(record);
+            self.wal.write_all(&bytes)?;
+            self.metrics.appends.incr();
+            self.metrics.append_bytes.record(bytes.len() as f64);
+        }
+        self.wal.flush()?;
+        if self.cfg.fsync {
+            self.wal.get_ref().sync_data()?;
+            self.metrics.fsyncs.incr();
+        }
+        self.metrics.flushes.incr();
+        span.stop();
+        // Durable — now consume through the guard.
+        let base = self.durable_seq;
+        self.durable_seq += pending.len() as u64;
+        let mut status = FlushStatus::Clean;
+        for (i, out) in pending.iter().enumerate() {
+            if status != FlushStatus::Clean {
+                break;
+            }
+            let seq = base + i as u64;
+            if self.quarantined.contains(&seq) {
+                self.consumed_seq = seq + 1;
+                continue;
+            }
+            match guard(&mut self.predictor, out, seq) {
+                ApplyVerdict::Crashed => status = FlushStatus::Crashed { seq },
+                _ => self.consumed_seq = seq + 1,
+            }
+        }
+        self.records_since_compact += records.len() as u64;
+        if status == FlushStatus::Clean && self.records_since_compact >= self.cfg.compact_every {
+            self.compact()?;
+        }
+        Ok(status)
+    }
+
+    /// Folds this shard's WAL into a fresh `MFD1` checkpoint and resets
+    /// the log (same rename ordering and fsync rules as
+    /// [`DurableOnline::compact`]). Requires a clean shard: everything
+    /// flushed, nothing unconsumed.
+    pub fn compact(&mut self) -> Result<(), WalError> {
+        assert!(self.pending.is_empty(), "flush before compacting");
+        assert_eq!(
+            self.consumed_seq, self.durable_seq,
+            "cannot checkpoint a crashed shard"
+        );
+        let cp = OnlineCheckpoint::capture(&self.predictor, self.store);
+        let bytes = encode_durable_envelope(self.durable_seq, &cp.encode());
+        atomic_write(&self.dir.join("checkpoint.bin"), &bytes)?;
+        if self.cfg.fsync {
+            fsync_dir(&self.dir)?;
+        }
+        self.wal = BufWriter::new(reset_wal(&self.dir.join("wal.log"))?);
+        if self.cfg.fsync {
+            fsync_dir(&self.dir)?;
+        }
+        self.records_since_compact = 0;
+        self.metrics.compactions.incr();
+        Ok(())
+    }
+
+    /// Flushes, runs prediction ticks up to `until`, then (with
+    /// compaction enabled) folds the final state into a checkpoint. A
+    /// crash verdict during the flush is returned without ticking.
+    pub fn finish(
+        &mut self,
+        until: SimTime,
+        guard: &mut Guard<'_, 'a>,
+    ) -> Result<FlushStatus, WalError> {
+        match self.flush(guard)? {
+            FlushStatus::Clean => {}
+            crashed => return Ok(crashed),
+        }
+        self.predictor.finish(until);
+        if self.cfg.compact_every != u64::MAX {
+            self.compact()?;
+        }
+        Ok(FlushStatus::Clean)
+    }
+
+    /// Outputs this shard has consumed (applied or skipped).
+    pub fn consumed(&self) -> u64 {
+        self.consumed_seq
+    }
+
+    /// Outputs durably logged or checkpointed.
+    pub fn durable(&self) -> u64 {
+        self.durable_seq
+    }
+
+    /// Outputs handed to [`DurableShard::push`] so far, including the
+    /// still-buffered tail — the caller's re-feed position.
+    pub fn fed(&self) -> u64 {
+        self.durable_seq + self.pending.len() as u64
+    }
+
+    /// Per-shard sequence numbers the quarantine side log lists.
+    pub fn quarantined(&self) -> &BTreeSet<u64> {
+        &self.quarantined
+    }
+
+    /// The shard's predictor (read access).
+    pub fn predictor(&self) -> &OnlinePredictor<'a> {
+        &self.predictor
+    }
+
+    /// Alarms this shard has raised, in raise order.
+    pub fn alarms(&self) -> &[Alarm] {
+        self.predictor.alarms()
+    }
+
+    /// This shard's score trace (empty unless
+    /// [`DurableConfig::record_scores`]).
+    pub fn score_trace(&self) -> &[ScoreRecord] {
+        self.predictor.score_trace()
+    }
+
+    /// Model invocations on this shard.
+    pub fn scored(&self) -> u64 {
+        self.predictor.scored()
+    }
+}
+
+/// The unsupervised `MFW2` engine: one [`DurableShard`] per feature
+/// store behind the pure hash router, each with its own log and
+/// checkpoint chain. Produces alarms and scores bit-identical to the
+/// sequential predictor (and to [`DurableOnline`]) for the same stream.
+///
+/// On re-open after a crash the caller re-feeds the stream from the
+/// start: [`ShardedDurable::push`] counts the outputs routed to each
+/// shard and skips the prefix that shard already recovered, so shards
+/// cut at *different* offsets re-synchronize without any cross-shard
+/// coordination. `crate::supervise::Supervisor` builds restart, backoff
+/// and quarantine handling on top of the same per-shard units.
+#[derive(Debug)]
+pub struct ShardedDurable<'a> {
+    shards: Vec<DurableShard<'a>>,
+    /// Outputs routed to each shard by this incarnation's feed.
+    seen: Vec<u64>,
+    /// Each shard's feed position recovered at open; the skip threshold.
+    recovered: Vec<u64>,
+}
+
+impl<'a> ShardedDurable<'a> {
+    /// Opens (or creates) an `MFW2` root with one shard per store,
+    /// recovering every shard independently.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DurableShard::open`] returns, plus
+    /// [`WalError::BadMeta`] / [`WalError::ShardCountMismatch`] when the
+    /// root's meta file disagrees with `stores`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        lake: &'a DataLake,
+        stores: &'a [FeatureStore],
+        registry: &'a ModelRegistry,
+        platform: Platform,
+        online: OnlineConfig,
+        cfg: DurableConfig,
+    ) -> Result<(Self, Vec<RecoveryReport>), WalError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        check_meta(&dir, stores.len())?;
+        let mut shards = Vec::with_capacity(stores.len());
+        let mut reports = Vec::with_capacity(stores.len());
+        let mut guard = apply_unguarded();
+        for (s, store) in stores.iter().enumerate() {
+            let (unit, report) = DurableShard::open(
+                shard_dir(&dir, s),
+                lake,
+                store,
+                registry,
+                platform,
+                online,
+                cfg,
+                s,
+                &mut guard,
+            )?;
+            shards.push(unit);
+            reports.push(report);
+        }
+        let recovered = shards.iter().map(|u| u.fed()).collect();
+        Ok((
+            ShardedDurable {
+                seen: vec![0; shards.len()],
+                shards,
+                recovered,
+            },
+            reports,
+        ))
+    }
+
+    /// Accepts the next output of the canonical stream: routed to its
+    /// home shard, skipped if that shard's recovery already covers it.
+    pub fn push(&mut self, out: IngestOutput) -> Result<(), WalError> {
+        let s = shard_route(&out, self.shards.len());
+        self.seen[s] += 1;
+        if self.seen[s] <= self.recovered[s] {
+            return Ok(());
+        }
+        let mut guard = apply_unguarded();
+        self.shards[s].push(out, &mut guard)?;
+        Ok(())
+    }
+
+    /// Flushes every shard's buffered outputs.
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        let mut guard = apply_unguarded();
+        for shard in &mut self.shards {
+            shard.flush(&mut guard)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and runs every shard's prediction ticks up to `until`
+    /// (compacting at shutdown when enabled, like
+    /// [`DurableOnline::finish`]).
+    pub fn finish(&mut self, until: SimTime) -> Result<(), WalError> {
+        let mut guard = apply_unguarded();
+        for shard in &mut self.shards {
+            shard.finish(until, &mut guard)?;
+        }
+        Ok(())
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard (read access).
+    pub fn shard(&self, s: usize) -> &DurableShard<'a> {
+        &self.shards[s]
+    }
+
+    /// Total outputs consumed across shards.
+    pub fn consumed(&self) -> u64 {
+        self.shards.iter().map(|s| s.consumed()).sum()
+    }
+
+    /// All alarms raised so far, merged by `(time, dimm)`.
+    pub fn alarms(&self) -> Vec<Alarm> {
+        let mut out: Vec<Alarm> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.alarms().iter().copied())
+            .collect();
+        out.sort_by_key(|a| (a.time, a.dimm));
+        out
+    }
+
+    /// All recorded scores, merged by `(time, dimm)`.
+    pub fn scores(&self) -> Vec<ScoreRecord> {
+        let mut out: Vec<ScoreRecord> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.score_trace().iter().copied())
+            .collect();
+        out.sort_by_key(|r| (r.time, r.dimm));
+        out
+    }
+
+    /// Total model invocations across shards.
+    pub fn scored(&self) -> u64 {
+        self.shards.iter().map(|s| s.scored()).sum()
+    }
+}
+
+/// The default apply guard: apply everything, catch nothing.
+fn apply_unguarded<'a>() -> impl FnMut(&mut OnlinePredictor<'a>, &IngestOutput, u64) -> ApplyVerdict
+{
+    |predictor, out, _seq| {
+        predictor.apply(out);
+        ApplyVerdict::Applied
     }
 }
 
@@ -909,7 +1641,11 @@ mod tests {
         // records whose bytes are fully present, and never errors.
         for cut in 0..image.len() {
             let c = scan(&image[..cut]).unwrap();
-            let complete = boundaries.iter().filter(|&&b| b <= cut).count().saturating_sub(1);
+            let complete = boundaries
+                .iter()
+                .filter(|&&b| b <= cut)
+                .count()
+                .saturating_sub(1);
             assert_eq!(
                 c.records.len(),
                 complete.min(records.len()),
@@ -948,7 +1684,10 @@ mod tests {
         let outs = outputs(&dimms);
         let end = SimTime::from_secs(40 * 86_400);
         let (ref_alarms, ref_scores, ref_scored) = oracle(&lake, &registry, &outs, end);
-        assert!(!ref_alarms.is_empty(), "stream must alarm or the test is vacuous");
+        assert!(
+            !ref_alarms.is_empty(),
+            "stream must alarm or the test is vacuous"
+        );
 
         for shards in [1usize, 2, 4] {
             let dir = test_dir("clean");
@@ -1114,7 +1853,10 @@ mod tests {
         }
         durable.flush().unwrap();
         drop(durable);
-        assert!(dir.join("checkpoint.bin").exists(), "compaction must checkpoint");
+        assert!(
+            dir.join("checkpoint.bin").exists(),
+            "compaction must checkpoint"
+        );
         let wal_len = fs::metadata(dir.join("wal.log")).unwrap().len();
         assert!(
             wal_len < 2_000,
@@ -1199,7 +1941,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.checkpoint_applied, outs.len() as u64);
-        assert_eq!(report.outputs_replayed, 0, "covered outputs must be skipped");
+        assert_eq!(
+            report.outputs_replayed, 0,
+            "covered outputs must be skipped"
+        );
         assert_eq!(report.outputs_skipped, outs.len() as u64);
         resumed.finish(end).unwrap();
         assert_eq!(resumed.alarms(), ref_alarms);
@@ -1214,7 +1959,11 @@ mod tests {
         let registry = ModelRegistry::new();
         let _ = setup(&lake, &registry);
         let dir = test_dir("badckpt");
-        fs::write(dir.join("checkpoint.bin"), b"MFD1\x01garbage-that-is-long-enough....").unwrap();
+        fs::write(
+            dir.join("checkpoint.bin"),
+            b"MFD1\x01garbage-that-is-long-enough....",
+        )
+        .unwrap();
         let stores = make_stores(1, ProblemConfig::default(), FaultThresholds::default());
         let err = DurableOnline::open(
             &dir,
@@ -1228,6 +1977,417 @@ mod tests {
         .err()
         .expect("corrupt checkpoint must not restore");
         assert!(matches!(err, WalError::Checkpoint(_)), "got {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // ------------------------------------------------------ MFW2 tests --
+
+    fn traced() -> DurableConfig {
+        DurableConfig {
+            batch: 5,
+            compact_every: u64::MAX,
+            record_scores: true,
+            ..DurableConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_durable_matches_the_sequential_oracle() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let outs = outputs(&dimms);
+        let end = SimTime::from_secs(40 * 86_400);
+        let (ref_alarms, ref_scores, ref_scored) = oracle(&lake, &registry, &outs, end);
+
+        for shards in [1usize, 2, 4] {
+            let dir = test_dir("mfw2clean");
+            let stores = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+            let (mut sd, reports) = ShardedDurable::open(
+                &dir,
+                &lake,
+                &stores,
+                &registry,
+                Platform::IntelPurley,
+                OnlineConfig::default(),
+                traced(),
+            )
+            .unwrap();
+            assert_eq!(reports.len(), shards);
+            for r in &reports {
+                assert_eq!(*r, RecoveryReport::default());
+            }
+            for out in &outs {
+                sd.push(*out).unwrap();
+            }
+            sd.finish(end).unwrap();
+            assert_eq!(sd.alarms(), ref_alarms, "{shards} shards: alarms");
+            assert_eq!(sd.scores(), ref_scores, "{shards} shards: scores");
+            assert_eq!(sd.scored(), ref_scored);
+            assert_eq!(sd.consumed(), outs.len() as u64);
+            // Every shard got its own directory with its own log.
+            for s in 0..shards {
+                assert!(shard_dir(&dir, s).join("wal.log").exists());
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn shards_cut_at_different_offsets_recover_independently() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let outs = outputs(&dimms);
+        let end = SimTime::from_secs(40 * 86_400);
+        let (ref_alarms, ref_scores, ref_scored) = oracle(&lake, &registry, &outs, end);
+        let shards = 4usize;
+
+        // Each sweep iteration tears every shard's WAL at a *different*
+        // relative offset, then recovers the whole root by re-feeding
+        // the canonical stream (covered outputs are skipped per shard).
+        for cuts in [
+            [0.0f64, 0.3, 0.7, 1.0],
+            [0.95, 0.05, 0.5, 0.85],
+            [1.0, 1.0, 0.01, 0.99],
+        ] {
+            let dir = test_dir("mfw2cut");
+            let stores = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+            let (mut sd, _) = ShardedDurable::open(
+                &dir,
+                &lake,
+                &stores,
+                &registry,
+                Platform::IntelPurley,
+                OnlineConfig::default(),
+                traced(),
+            )
+            .unwrap();
+            for out in &outs {
+                sd.push(*out).unwrap();
+            }
+            sd.flush().unwrap();
+            drop(sd);
+
+            for (s, frac) in cuts.iter().enumerate() {
+                let path = shard_dir(&dir, s).join("wal.log");
+                let image = fs::read(&path).unwrap();
+                let keep = (image.len() as f64 * frac) as usize;
+                fs::write(&path, &image[..keep]).unwrap();
+            }
+
+            let restore = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+            let (mut resumed, reports) = ShardedDurable::open(
+                &dir,
+                &lake,
+                &restore,
+                &registry,
+                Platform::IntelPurley,
+                OnlineConfig::default(),
+                traced(),
+            )
+            .unwrap();
+            let replayed: u64 = reports.iter().map(|r| r.outputs_replayed).sum();
+            assert!(replayed <= outs.len() as u64);
+            for out in &outs {
+                resumed.push(*out).unwrap();
+            }
+            resumed.finish(end).unwrap();
+            assert_eq!(resumed.alarms(), ref_alarms, "cuts {cuts:?}: alarms");
+            assert_eq!(resumed.scores(), ref_scores, "cuts {cuts:?}: scores");
+            assert_eq!(resumed.scored(), ref_scored, "cuts {cuts:?}: scored");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn single_shard_recovery_never_reads_sibling_files() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let outs = outputs(&dimms);
+        let shards = 2usize;
+
+        let dir = test_dir("sibling");
+        let stores = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
+        let (mut sd, _) = ShardedDurable::open(
+            &dir,
+            &lake,
+            &stores,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            traced(),
+        )
+        .unwrap();
+        for out in &outs {
+            sd.push(*out).unwrap();
+        }
+        sd.flush().unwrap();
+        drop(sd);
+
+        // Baseline: shard 0 recovered alone, before any sabotage.
+        let probe = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut guard = apply_unguarded();
+        let (unit, baseline) = DurableShard::open(
+            shard_dir(&dir, 0),
+            &lake,
+            &probe,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            traced(),
+            0,
+            &mut guard,
+        )
+        .unwrap();
+        let baseline_alarms = unit.alarms().to_vec();
+        drop(unit);
+
+        // Vandalize every sibling file: garbage WAL, garbage checkpoint,
+        // garbage quarantine log.
+        let sib = shard_dir(&dir, 1);
+        fs::write(sib.join("wal.log"), b"NOT-A-WAL-AT-ALL................").unwrap();
+        fs::write(sib.join("checkpoint.bin"), b"JUNKJUNKJUNKJUNKJUNK").unwrap();
+        fs::write(sib.join("quarantine.log"), b"ALSO-GARBAGE").unwrap();
+
+        let probe2 = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut guard2 = apply_unguarded();
+        let (unit2, after) = DurableShard::open(
+            shard_dir(&dir, 0),
+            &lake,
+            &probe2,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            traced(),
+            0,
+            &mut guard2,
+        )
+        .unwrap();
+        assert_eq!(
+            after, baseline,
+            "sibling garbage must not change shard 0 recovery"
+        );
+        assert_eq!(unit2.alarms(), baseline_alarms);
+        drop(unit2);
+
+        // Sanity: the sabotage IS visible to anyone who actually reads
+        // shard 1 — proving shard 0's immunity is isolation, not luck.
+        let probe3 = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut guard3 = apply_unguarded();
+        let err = DurableShard::open(
+            shard_dir(&dir, 1),
+            &lake,
+            &probe3,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            traced(),
+            1,
+            &mut guard3,
+        )
+        .err()
+        .expect("vandalized shard 1 must fail to open");
+        assert!(
+            matches!(err, WalError::BadHeader | WalError::Checkpoint(_)),
+            "got {err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_file_mismatch_and_corruption_are_typed_errors() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let _ = setup(&lake, &registry);
+        let dir = test_dir("meta");
+        let two = make_stores(2, ProblemConfig::default(), FaultThresholds::default());
+        let (sd, _) = ShardedDurable::open(
+            &dir,
+            &lake,
+            &two,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            traced(),
+        )
+        .unwrap();
+        assert_eq!(sd.shard_count(), 2);
+        drop(sd);
+
+        // Reopening with a different shard count is a typed refusal, not
+        // silent re-partitioning (per-shard seqs would be garbage).
+        let three = make_stores(3, ProblemConfig::default(), FaultThresholds::default());
+        let err = ShardedDurable::open(
+            &dir,
+            &lake,
+            &three,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            traced(),
+        )
+        .err()
+        .expect("shard-count mismatch must not open");
+        assert!(
+            matches!(
+                err,
+                WalError::ShardCountMismatch {
+                    captured: 2,
+                    stores: 3
+                }
+            ),
+            "got {err}"
+        );
+
+        // A corrupt meta file is corrupt data, not a panic.
+        fs::write(dir.join("meta.bin"), b"MFW2junk.....").unwrap();
+        let err = ShardedDurable::open(
+            &dir,
+            &lake,
+            &two,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            traced(),
+        )
+        .err()
+        .expect("corrupt meta must not open");
+        assert!(matches!(err, WalError::BadMeta(_)), "got {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn finish_compacts_at_shutdown_so_a_kill_after_it_loses_nothing() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let outs = outputs(&dimms);
+        let end = SimTime::from_secs(40 * 86_400);
+        let (ref_alarms, _, ref_scored) = oracle(&lake, &registry, &outs, end);
+
+        let dir = test_dir("shutdown");
+        let stores = make_stores(2, ProblemConfig::default(), FaultThresholds::default());
+        let cfg = DurableConfig {
+            batch: 4,
+            compact_every: 64, // would never trigger mid-stream here
+            fsync: true,
+            ..DurableConfig::default()
+        };
+        let (mut durable, _) = DurableOnline::open(
+            &dir,
+            &lake,
+            &stores,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            cfg,
+        )
+        .unwrap();
+        for out in &outs {
+            durable.push(*out).unwrap();
+        }
+        durable.finish(end).unwrap();
+        drop(durable);
+
+        // Kill-at-shutdown: the process dies right after finish returns.
+        // The shutdown compaction must have folded EVERYTHING into the
+        // checkpoint — reopen restores it with zero replay work.
+        let restore = make_stores(2, ProblemConfig::default(), FaultThresholds::default());
+        let (mut resumed, report) = DurableOnline::open(
+            &dir,
+            &lake,
+            &restore,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            cfg,
+        )
+        .unwrap();
+        assert_eq!(
+            report.checkpoint_applied,
+            outs.len() as u64,
+            "all outputs checkpointed"
+        );
+        assert_eq!(report.wal_records, 0, "WAL reset at shutdown");
+        assert_eq!(report.outputs_replayed, 0);
+        resumed.finish(end).unwrap();
+        assert_eq!(resumed.alarms(), ref_alarms);
+        assert_eq!(resumed.scored(), ref_scored);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_log_roundtrips_and_recovery_skips_listed_outputs() {
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = setup(&lake, &registry);
+        let outs = outputs(&dimms);
+        let end = SimTime::from_secs(40 * 86_400);
+
+        let dir = test_dir("quarantine");
+        let sdir = shard_dir(&dir, 0);
+        fs::create_dir_all(&sdir).unwrap();
+        assert!(
+            scan_quarantine(&sdir).unwrap().is_empty(),
+            "absent log is empty"
+        );
+
+        // Round-trip an event output and a gap output through the log.
+        quarantine_output(&sdir, 3, &outs[3]).unwrap();
+        quarantine_output(&sdir, 40, &outs[40]).unwrap(); // the gap
+        let q = scan_quarantine(&sdir).unwrap();
+        assert_eq!(q.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![3, 40]);
+        match (&q[0].payload, &outs[3]) {
+            (WalPayload::Events(es), IngestOutput::Released(e)) => assert_eq!(es[..], [*e]),
+            other => panic!("wrong quarantine payload: {other:?}"),
+        }
+        match (&q[1].payload, &outs[40]) {
+            (WalPayload::Gap(g), IngestOutput::Gap(want)) => assert_eq!(g, want),
+            other => panic!("wrong quarantine payload: {other:?}"),
+        }
+
+        // A shard opened over that quarantine set consumes the full
+        // stream but applies the filtered one.
+        let filtered: Vec<IngestOutput> = outs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 3 && *i != 40)
+            .map(|(_, o)| *o)
+            .collect();
+        let (ref_alarms, _, ref_scored) = oracle(&lake, &registry, &filtered, end);
+
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut guard = apply_unguarded();
+        let (mut unit, report) = DurableShard::open(
+            &sdir,
+            &lake,
+            &store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            traced(),
+            0,
+            &mut guard,
+        )
+        .unwrap();
+        assert_eq!(report.outputs_quarantined, 0, "nothing in the WAL yet");
+        for out in &outs {
+            unit.push(*out, &mut guard).unwrap();
+        }
+        assert_eq!(unit.finish(end, &mut guard).unwrap(), FlushStatus::Clean);
+        assert_eq!(
+            unit.consumed(),
+            outs.len() as u64,
+            "quarantined outputs still consume"
+        );
+        assert_eq!(
+            unit.alarms(),
+            ref_alarms,
+            "state equals the filtered oracle"
+        );
+        assert_eq!(unit.scored(), ref_scored);
         let _ = fs::remove_dir_all(&dir);
     }
 }

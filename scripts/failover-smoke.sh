@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Failover smoke: run the crash-chaos gate for the self-healing serving
+# path. failover_chaos simulates a Purley sub-fleet, then drives the
+# supervised sharded engine (per-shard MFW2 WALs + restart supervisor)
+# through seeded schedules of shard kills with torn WAL tails, hangs and
+# transient panics across a {1,2,4}-shard matrix, failing the build
+# unless every run's merged alarms and scores reproduce the uncrashed
+# sequential oracle bit for bit (non-zero exit on the first divergence).
+# Writes a machine-readable BENCH_failover.json that the CI job uploads,
+# including restart / replay / quarantine counts.
+#
+# Prefers cargo; falls back to the offline rustc harness when the
+# registry is unreachable (air-gapped CI).
+#
+# Usage: scripts/failover-smoke.sh [extra failover_chaos flags ...]
+#
+# Environment:
+#   DIMMS=800                    fleet size (Purley sub-population)
+#   SCHEDULES=3                  chaos schedules per shard count
+#   CHAOS_EVENTS=6               injected faults per schedule
+#   FAILOVER_OUT=BENCH_failover.json  baseline path
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+FAILOVER_ARGS=(
+  --dimms "${DIMMS:-800}"
+  --schedules "${SCHEDULES:-3}"
+  --chaos-events "${CHAOS_EVENTS:-6}"
+  --horizon-days 30
+  --out "${FAILOVER_OUT:-BENCH_failover.json}"
+  "$@"
+)
+
+if cargo build --release -p mfp-bench --bin failover_chaos 2>/dev/null; then
+  cargo run --release -p mfp-bench --bin failover_chaos -- "${FAILOVER_ARGS[@]}"
+  exit $?
+fi
+
+echo "[failover-smoke] cargo unavailable, using the offline harness" >&2
+"$ROOT/scripts/offline-test.sh" --bin failover_chaos -- "${FAILOVER_ARGS[@]}"
