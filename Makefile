@@ -2,7 +2,7 @@
 # access needed) via scripts/offline-test.sh when cargo can't resolve
 # the registry.
 
-.PHONY: test chaos e2e serve wal failover ci
+.PHONY: test chaos e2e serve wal failover procfail ci
 
 # Unit tests for every crate (merged-crate rustc harness).
 test:
@@ -40,3 +40,11 @@ wal:
 # the BENCH_failover.json baseline.
 failover:
 	scripts/failover-smoke.sh
+
+# Process-isolation gate: run one worker OS process per shard behind the
+# MFP1 pipe protocol, inject real SIGKILLs (torn WAL tails), hangs and
+# apply panics, and require merged alarms + scores to match the
+# uncrashed oracle bit for bit; refreshes the BENCH_procfail.json
+# baseline.
+procfail:
+	scripts/procfail-smoke.sh

@@ -1,19 +1,26 @@
-//! Crash-chaos gate and failover benchmark for the self-healing serving
-//! path (`mfp_mlops::supervise` over per-shard `MFW2` WALs): simulates a
-//! Purley sub-fleet, runs the supervised sharded engine under seeded
-//! schedules of shard kills (with torn WAL tails), hangs and transient
-//! panics, and requires the merged alarms and scores to reproduce the
-//! uncrashed sequential oracle bit-for-bit at every shard count in
-//! {1, 2, 4}. Restart/quarantine counts and timings land in
-//! `BENCH_failover.json`; any divergence exits non-zero.
+//! SIGKILL-chaos gate and benchmark for process-isolated serving
+//! (`mfp_mlops::procserve`): simulates a Purley sub-fleet, runs one
+//! worker **process** per shard behind the `MFP1` pipe protocol, and
+//! subjects the fleet to seeded schedules of real `SIGKILL`s (with torn
+//! WAL tails), hangs and injected apply panics. The merged alarms and
+//! scores must reproduce the uncrashed sequential oracle bit-for-bit at
+//! every shard count in {1, 2, 4}. Restart/kill/replay counts and
+//! timings land in `BENCH_procfail.json`; any divergence exits
+//! non-zero.
 //!
-//! `cargo run --release -p mfp-bench --bin failover_chaos -- \
-//!     [--dimms 1200] [--horizon-days 30] [--seed 29] [--schedules 3] \
-//!     [--chaos-events 6] [--batch 64] [--out BENCH_failover.json]`
+//! This binary is also its own worker: when re-executed with
+//! `--shard-worker` (or the `MFP_SHARD_WORKER` env marker) it becomes a
+//! shard worker process instead of the gate driver.
+//!
+//! `cargo run --release -p mfp-bench --bin procfail_chaos -- \
+//!     [--dimms 400] [--horizon-days 14] [--seed 31] [--schedules 2] \
+//!     [--chaos-events 5] [--batch 32] [--out BENCH_procfail.json]`
 
 use mfp_bench::report::baseline::{config_hash, num};
+use mfp_dram::address::DimmId;
 use mfp_dram::event::MemEvent;
 use mfp_dram::geometry::Platform;
+use mfp_dram::spec::DimmSpec;
 use mfp_dram::time::{SimDuration, SimTime};
 use mfp_features::fault_analysis::FaultThresholds;
 use mfp_features::labeling::ProblemConfig;
@@ -46,20 +53,28 @@ fn purley_fleet(dimms: usize, horizon_days: u64, seed: u64) -> FleetConfig {
 }
 
 fn scratch(tag: &str) -> PathBuf {
-    let d = std::env::temp_dir().join(format!("mfp_failover_{tag}_{}", std::process::id()));
+    let d = std::env::temp_dir().join(format!("mfp_procfail_{tag}_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
     std::fs::create_dir_all(&d).expect("create scratch dir");
     d
 }
 
 fn main() {
-    let mut dimms = 1_200usize;
-    let mut horizon_days = 30u64;
-    let mut seed = 29u64;
-    let mut schedules = 3usize;
-    let mut chaos_events = 6usize;
-    let mut batch = 64usize;
-    let mut out = String::from("BENCH_failover.json");
+    // Worker mode: the ProcSupervisor re-execs this binary for each
+    // shard. Must run before any flag parsing.
+    if std::env::var_os(WORKER_ENV).is_some()
+        || std::env::args().nth(1).as_deref() == Some("--shard-worker")
+    {
+        std::process::exit(shard_worker_main());
+    }
+
+    let mut dimms = 400usize;
+    let mut horizon_days = 14u64;
+    let mut seed = 31u64;
+    let mut schedules = 2usize;
+    let mut chaos_events = 5usize;
+    let mut batch = 32usize;
+    let mut out = String::from("BENCH_procfail.json");
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -90,27 +105,31 @@ fn main() {
     let fleet_cfg = purley_fleet(dimms, horizon_days, seed);
     let online_cfg = OnlineConfig::default();
     let ingest_cfg = IngestConfig::default();
-    // Score tracing on so the gate can compare the full score trace,
-    // not just alarms. Compaction stays off to keep WAL replay (rather
-    // than checkpoint restore) on the recovery path this gate measures;
-    // since checkpoint v3 carries the trace, either path preserves it.
+    // Score tracing on so the gate compares full traces, not just
+    // alarms; compaction off keeps WAL replay (the recovery path this
+    // gate measures) rather than checkpoint restore in the loop.
     let durable_cfg = DurableConfig {
         batch,
         compact_every: u64::MAX,
         record_scores: true,
         ..DurableConfig::default()
     };
-    let sup_cfg = SuperviseConfig::default();
+    let proc_cfg = ProcConfig {
+        batch,
+        ..ProcConfig::default()
+    };
     let cfg_hash = config_hash(&format!(
-        "{fleet_cfg:?}|{online_cfg:?}|{ingest_cfg:?}|{durable_cfg:?}|{sup_cfg:?}|\
+        "{fleet_cfg:?}|{online_cfg:?}|{ingest_cfg:?}|{durable_cfg:?}|{proc_cfg:?}|\
          schedules={schedules}|chaos_events={chaos_events}"
     ));
 
     // One simulated, hardened-ingested output stream shared by all runs.
     let planned = ShardedFleet::plan(&fleet_cfg);
     let lake = DataLake::new();
+    let mut catalog: Vec<(DimmId, DimmSpec)> = Vec::new();
     for (id, p, spec) in planned.catalog() {
         lake.register_dimm(id, p, spec);
+        catalog.push((id, spec));
     }
     let mut events: Vec<MemEvent> = Vec::new();
     planned.run_stream(&ShardConfig::default(), |e| events.push(e));
@@ -133,7 +152,7 @@ fn main() {
         |o| outs.push(o),
     );
     println!(
-        "failover_chaos: {} dimms, {} events, {} ingest outputs, seed {seed}",
+        "procfail_chaos: {} dimms, {} events, {} ingest outputs, seed {seed}",
         planned.dimm_count(),
         events.len(),
         outs.len(),
@@ -179,12 +198,21 @@ fn main() {
         ref_scored,
     );
 
-    // The gate: {1, 2, 4} shards x `schedules` seeded chaos schedules,
-    // each mixing kills (with torn WAL tails), hangs and transient
-    // panics across the run.
+    let command = WorkerCommand::current_exe().expect("resolve current binary");
+
+    // The gate: {1, 2, 4} worker processes x `schedules` seeded chaos
+    // schedules, each mixing real SIGKILLs (with torn WAL tails), hangs
+    // and transient apply panics across the run. WAL replay is the
+    // recovery path: `replayed_outputs` below counts outputs re-applied
+    // from per-shard logs, and the per-run wall time includes every
+    // spawn + replay + re-feed cycle — compare `mean_run_secs` against
+    // `oracle.wall_secs` for the recovery overhead.
     let mut identical = true;
     let mut run_secs: Vec<f64> = Vec::new();
     let mut restarts = 0u64;
+    let mut spawns = 0u64;
+    let mut sigkills = 0u64;
+    let mut heartbeat_misses = 0u64;
     let mut panics_caught = 0u64;
     let mut hangs_detected = 0u64;
     let mut kills_injected = 0u64;
@@ -196,20 +224,22 @@ fn main() {
             let chaos_seed = seed ^ ((shards as u64) << 32) ^ (k as u64);
             let plan = ChaosPlan::seeded(chaos_seed, shards, outs.len(), chaos_events, 2);
             let dir = scratch(&format!("s{shards}k{k}"));
-            let stores = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
-            let sup = Supervisor::new(
+            let sup = ProcSupervisor::new(
                 &dir,
-                &lake,
-                &stores,
-                &registry,
+                command.clone(),
+                shards,
                 Platform::IntelPurley,
                 online_cfg,
                 durable_cfg,
-                sup_cfg,
+                ProblemConfig::default(),
+                FaultThresholds::default(),
+                ModelSpec::default_risky_ce(),
+                catalog.clone(),
+                proc_cfg,
             )
-            .expect("open supervisor");
+            .expect("open proc supervisor");
             let t = Instant::now();
-            let outcome = sup.run(&outs, end, &plan).expect("supervised run");
+            let outcome = sup.run(&outs, end, &plan).expect("process-supervised run");
             let secs = t.elapsed().as_secs_f64();
             run_secs.push(secs);
             let ok = outcome.alarms == ref_alarms
@@ -217,16 +247,19 @@ fn main() {
                 && outcome.scored == ref_scored
                 && outcome.live_shards == shards;
             println!(
-                "  shards {shards} schedule {k}: {:>2} restarts, {:>2} kills, {:>2} hangs, \
+                "  shards {shards} schedule {k}: {:>2} restarts, {:>2} sigkills, {:>2} hangs, \
                  {:>2} panics, {:>7} replayed in {secs:>6.2}s, identical {ok}",
                 outcome.report.restarts,
-                outcome.report.kills_injected,
+                outcome.report.sigkills,
                 outcome.report.hangs_detected,
                 outcome.report.panics_caught,
                 outcome.report.replayed_outputs,
             );
             identical &= ok;
             restarts += outcome.report.restarts;
+            spawns += outcome.report.spawns;
+            sigkills += outcome.report.sigkills;
+            heartbeat_misses += outcome.report.heartbeat_misses;
             panics_caught += outcome.report.panics_caught;
             hangs_detected += outcome.report.hangs_detected;
             kills_injected += outcome.report.kills_injected;
@@ -240,15 +273,18 @@ fn main() {
     let mean_run = run_secs.iter().sum::<f64>() / run_secs.len().max(1) as f64;
     let max_run = run_secs.iter().cloned().fold(0.0f64, f64::max);
     let json = format!(
-        "{{\n  \"bench\": \"failover_chaos\",\n  \"dimms\": {},\n  \"events\": {},\n  \
+        "{{\n  \"bench\": \"procfail_chaos\",\n  \"dimms\": {},\n  \"events\": {},\n  \
          \"outputs\": {},\n  \"horizon_days\": {horizon_days},\n  \"seed\": {seed},\n  \
          \"schedules\": {schedules},\n  \"chaos_events\": {chaos_events},\n  \
          \"batch\": {batch},\n  \"config_hash\": \"{cfg_hash}\",\n  \
          \"oracle\": {{\"wall_secs\": {}, \"alarms\": {}, \"scored\": {ref_scored}}},\n  \
          \"chaos\": {{\"runs\": {runs}, \"identical\": {identical}, \"restarts\": {restarts}, \
+         \"spawns\": {spawns}, \"sigkills\": {sigkills}, \"heartbeat_misses\": {heartbeat_misses}, \
          \"kills_injected\": {kills_injected}, \"hangs_detected\": {hangs_detected}, \
          \"panics_caught\": {panics_caught}, \"replayed_outputs\": {replayed_outputs}, \
-         \"quarantined\": {quarantined}, \"mean_run_secs\": {}, \"max_run_secs\": {}}}\n}}\n",
+         \"quarantined\": {quarantined}, \"mean_run_secs\": {}, \"max_run_secs\": {}}},\n  \
+         \"note\": \"mean_run_secs includes every spawn + MFW2 WAL-replay + re-feed recovery \
+cycle; compare against oracle.wall_secs for the process-supervision and replay overhead\"\n}}\n",
         planned.dimm_count(),
         events.len(),
         outs.len(),
@@ -259,7 +295,7 @@ fn main() {
     );
     std::fs::write(&out, &json).expect("write baseline json");
     if !identical {
-        eprintln!("FAIL: a supervised chaos run diverged from the uncrashed oracle");
+        eprintln!("FAIL: a process-supervised chaos run diverged from the uncrashed oracle");
         std::process::exit(1);
     }
     println!("all {runs} chaos schedules recovered bit-identically; wrote {out}");

@@ -19,7 +19,7 @@
 
 use crate::feature_store::FeatureStore;
 use crate::lake::DataLake;
-use crate::online::{Alarm, OnlineConfig, OnlinePredictor};
+use crate::online::{Alarm, OnlineConfig, OnlinePredictor, ScoreRecord};
 use crate::registry::ModelRegistry;
 use crate::serve::ShardedOnline;
 use bytes::{BufMut, Bytes, BytesMut};
@@ -36,7 +36,12 @@ const MAGIC: [u8; 4] = *b"MFC1";
 /// Checkpoint wire-format version. v2 appended a trailing CRC32 so a
 /// torn or bit-flipped payload is *detected* instead of silently
 /// restoring perturbed state (the recovery invariant depends on it).
-const VERSION: u8 = 2;
+/// v3 appends the optional score trace so restore resumes a traced
+/// predictor without replaying history; v2 payloads still decode (their
+/// trace restores as `None`).
+const VERSION: u8 = 3;
+/// Oldest wire-format version [`verify_envelope`] still accepts.
+const MIN_VERSION: u8 = 2;
 /// Magic bytes at the head of an encoded *sharded* checkpoint.
 const SERVE_MAGIC: [u8; 4] = *b"MFS1";
 
@@ -49,14 +54,19 @@ fn seal(mut buf: BytesMut) -> Bytes {
 }
 
 /// Checks magic, version and the trailing CRC32; returns the payload
-/// between the 5-byte header and the 4-byte checksum.
-fn verify_envelope<'a>(data: &'a [u8], magic: &[u8; 4]) -> Result<&'a [u8], CheckpointError> {
+/// between the 5-byte header and the 4-byte checksum along with the
+/// envelope's version, so decoders can accept the historical formats in
+/// `MIN_VERSION..=VERSION`.
+fn verify_envelope<'a>(
+    data: &'a [u8],
+    magic: &[u8; 4],
+) -> Result<(&'a [u8], u8), CheckpointError> {
     let mut c = Cursor { data };
     if c.bytes(4)? != magic {
         return Err(CheckpointError::BadMagic);
     }
     let version = c.u8()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CheckpointError::BadVersion(version));
     }
     if data.len() < 9 {
@@ -67,7 +77,7 @@ fn verify_envelope<'a>(data: &'a [u8], magic: &[u8; 4]) -> Result<&'a [u8], Chec
     if crate::wal::crc32(body) != want {
         return Err(CheckpointError::BadChecksum);
     }
-    Ok(&body[5..])
+    Ok((&body[5..], version))
 }
 
 /// A point-in-time snapshot of the online prediction state.
@@ -95,6 +105,9 @@ pub struct OnlineCheckpoint {
     pub last_good: Vec<(DimmId, SimTime, Vec<f32>)>,
     /// The feature store's per-DIMM rolling event windows.
     pub streams: Vec<(DimmId, Vec<MemEvent>)>,
+    /// The score trace, when tracing was enabled at capture time (v3;
+    /// restores as `None` from a v2 payload, which predates the field).
+    pub trace: Option<Vec<ScoreRecord>>,
 }
 
 impl OnlineCheckpoint {
@@ -119,6 +132,7 @@ impl OnlineCheckpoint {
                 .map(|(d, (t, row))| (*d, *t, row.clone()))
                 .collect(),
             streams: store.export_streams(),
+            trace: predictor.trace.clone(),
         }
     }
 
@@ -146,14 +160,23 @@ impl OnlineCheckpoint {
             .iter()
             .map(|(d, t, row)| (*d, (*t, row.clone())))
             .collect();
+        p.trace = self.trace.clone();
         p
     }
 
     /// Serializes the checkpoint into its binary format.
     pub fn encode(&self) -> Bytes {
+        self.encode_versioned(VERSION)
+    }
+
+    /// Serializes at a specific historical wire version — v2 drops the
+    /// score trace (the field it predates). Kept crate-private for the
+    /// compatibility tests; production writers always emit `VERSION`.
+    pub(crate) fn encode_versioned(&self, version: u8) -> Bytes {
+        debug_assert!((MIN_VERSION..=VERSION).contains(&version));
         let mut buf = BytesMut::with_capacity(256 + self.streams.len() * 64);
         buf.put_slice(&MAGIC);
-        buf.put_u8(VERSION);
+        buf.put_u8(version);
         let platform = Platform::ALL
             .iter()
             .position(|p| *p == self.platform)
@@ -202,6 +225,20 @@ impl OnlineCheckpoint {
             buf.put_u64(payload.len() as u64);
             buf.put_slice(&payload);
         }
+        if version >= 3 {
+            match &self.trace {
+                None => buf.put_u8(0),
+                Some(trace) => {
+                    buf.put_u8(1);
+                    buf.put_u64(trace.len() as u64);
+                    for r in trace {
+                        buf.put_u64(r.time.as_secs());
+                        put_dimm(&mut buf, r.dimm);
+                        buf.put_u32(r.score.to_bits());
+                    }
+                }
+            }
+        }
         seal(buf)
     }
 
@@ -213,9 +250,8 @@ impl OnlineCheckpoint {
     /// checksum mismatch (torn write or bit rot), an unknown platform
     /// index, or a malformed embedded event log.
     pub fn decode(data: &[u8]) -> Result<OnlineCheckpoint, CheckpointError> {
-        let mut c = Cursor {
-            data: verify_envelope(data, &MAGIC)?,
-        };
+        let (payload, version) = verify_envelope(data, &MAGIC)?;
+        let mut c = Cursor { data: payload };
         let pidx = c.u8()?;
         let platform = *Platform::ALL
             .get(pidx as usize)
@@ -271,6 +307,27 @@ impl OnlineCheckpoint {
             let log = BmcLog::decode(payload).map_err(CheckpointError::BadLog)?;
             streams.push((d, log.events().to_vec()));
         }
+        let trace = if version >= 3 {
+            match c.u8()? {
+                0 => None,
+                1 => {
+                    let n = c.len()?;
+                    let mut t = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let time = SimTime::from_secs(c.u64()?);
+                        let dimm = c.dimm()?;
+                        let score = f32::from_bits(c.u32()?);
+                        t.push(ScoreRecord { time, dimm, score });
+                    }
+                    Some(t)
+                }
+                // Anything else is corruption the CRC failed to catch
+                // only in adversarial constructions; refuse it.
+                _ => return Err(CheckpointError::Truncated),
+            }
+        } else {
+            None
+        };
         Ok(OnlineCheckpoint {
             platform,
             cfg,
@@ -283,6 +340,7 @@ impl OnlineCheckpoint {
             alarms,
             last_good,
             streams,
+            trace,
         })
     }
 }
@@ -307,20 +365,38 @@ pub struct ServeCheckpoint {
 impl ServeCheckpoint {
     /// Captures every shard of the engine (with `stores[i]` being shard
     /// `i`'s feature store, as built by `crate::serve::make_stores`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stores.len()` differs from the engine's shard count;
+    /// [`ServeCheckpoint::try_capture`] reports the same condition as a
+    /// typed error instead.
     pub fn capture(engine: &ShardedOnline<'_>, stores: &[FeatureStore]) -> Self {
-        assert_eq!(
-            engine.shard_count(),
-            stores.len(),
-            "one feature store per shard"
-        );
-        ServeCheckpoint {
+        Self::try_capture(engine, stores).expect("one feature store per shard")
+    }
+
+    /// Fallible [`ServeCheckpoint::capture`]: a store slice whose length
+    /// disagrees with the engine's shard count — caller-supplied data,
+    /// not a library invariant — comes back as
+    /// [`CheckpointError::ShardCount`] instead of a panic.
+    pub fn try_capture(
+        engine: &ShardedOnline<'_>,
+        stores: &[FeatureStore],
+    ) -> Result<Self, CheckpointError> {
+        if engine.shard_count() != stores.len() {
+            return Err(CheckpointError::ShardCount {
+                captured: engine.shard_count(),
+                stores: stores.len(),
+            });
+        }
+        Ok(ServeCheckpoint {
             shards: engine
                 .shards
                 .iter()
                 .zip(stores)
                 .map(|(p, s)| OnlineCheckpoint::capture(p, s))
                 .collect(),
-        }
+        })
     }
 
     /// Rebuilds a sharded engine (refilling `stores`) from this
@@ -330,26 +406,43 @@ impl ServeCheckpoint {
     /// # Panics
     ///
     /// Panics if `stores.len()` differs from the captured shard count
-    /// (see the type docs for why resharding a snapshot is unsound).
+    /// (see the type docs for why resharding a snapshot is unsound);
+    /// [`ServeCheckpoint::try_restore`] reports the same condition as a
+    /// typed error instead.
     pub fn restore<'a>(
         &self,
         lake: &'a DataLake,
         stores: &'a [FeatureStore],
         registry: &'a ModelRegistry,
     ) -> ShardedOnline<'a> {
-        assert_eq!(
-            self.shards.len(),
-            stores.len(),
-            "restore requires the captured shard count"
-        );
-        ShardedOnline {
+        self.try_restore(lake, stores, registry)
+            .expect("restore requires the captured shard count")
+    }
+
+    /// Fallible [`ServeCheckpoint::restore`]: a shard count mismatch —
+    /// typically an on-disk snapshot meeting a reconfigured deployment,
+    /// i.e. input-derived state — comes back as
+    /// [`CheckpointError::ShardCount`] instead of a panic.
+    pub fn try_restore<'a>(
+        &self,
+        lake: &'a DataLake,
+        stores: &'a [FeatureStore],
+        registry: &'a ModelRegistry,
+    ) -> Result<ShardedOnline<'a>, CheckpointError> {
+        if self.shards.len() != stores.len() {
+            return Err(CheckpointError::ShardCount {
+                captured: self.shards.len(),
+                stores: stores.len(),
+            });
+        }
+        Ok(ShardedOnline {
             shards: self
                 .shards
                 .iter()
                 .zip(stores)
                 .map(|(cp, store)| cp.restore(lake, store, registry))
                 .collect(),
-        }
+        })
     }
 
     /// Serializes the sharded checkpoint into its binary format.
@@ -374,9 +467,8 @@ impl ServeCheckpoint {
     /// Returns [`CheckpointError`] on truncation, bad magic/version, a
     /// checksum mismatch, or any malformed embedded shard payload.
     pub fn decode(data: &[u8]) -> Result<ServeCheckpoint, CheckpointError> {
-        let mut c = Cursor {
-            data: verify_envelope(data, &SERVE_MAGIC)?,
-        };
+        let (payload, _version) = verify_envelope(data, &SERVE_MAGIC)?;
+        let mut c = Cursor { data: payload };
         let n = c.len()?;
         let mut shards = Vec::with_capacity(n);
         for _ in 0..n {
@@ -456,6 +548,14 @@ pub enum CheckpointError {
     BadPlatform(u8),
     /// An embedded event log failed to decode.
     BadLog(DecodeError),
+    /// A sharded capture/restore was attempted with a store slice whose
+    /// length disagrees with the checkpointed (or engine's) shard count.
+    ShardCount {
+        /// Shards in the snapshot (or engine).
+        captured: usize,
+        /// Feature stores the caller supplied.
+        stores: usize,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -467,6 +567,10 @@ impl fmt::Display for CheckpointError {
             CheckpointError::BadChecksum => write!(f, "checkpoint checksum mismatch"),
             CheckpointError::BadPlatform(p) => write!(f, "unknown platform index {p}"),
             CheckpointError::BadLog(e) => write!(f, "embedded event log: {e}"),
+            CheckpointError::ShardCount { captured, stores } => write!(
+                f,
+                "checkpoint holds {captured} shards but {stores} stores were supplied"
+            ),
         }
     }
 }
@@ -548,12 +652,17 @@ mod tests {
                 ..OnlineConfig::default()
             },
         );
+        p.set_score_trace(true);
         for e in stream(&dimms) {
             p.observe(&e);
         }
         p.finish(SimTime::from_secs(4 * 86_400));
         let cp = OnlineCheckpoint::capture(&p, &s);
         assert!(!cp.streams.is_empty());
+        assert!(
+            cp.trace.as_ref().is_some_and(|t| !t.is_empty()),
+            "tracing was on, so the v3 trace section must carry records"
+        );
         let bytes = cp.encode();
         let back = OnlineCheckpoint::decode(&bytes).unwrap();
         assert_eq!(back, cp, "checkpoint must round-trip bit-exactly");
@@ -578,13 +687,16 @@ mod tests {
             OnlineCheckpoint::decode(b"MFC1\x01\x77"),
             Err(CheckpointError::BadVersion(1))
         );
-        // A correctly sealed envelope still rejects a bad platform index.
-        let mut sealed = b"MFC1\x02\x77".to_vec();
-        sealed.extend_from_slice(&crate::wal::crc32(&sealed).to_be_bytes());
-        assert_eq!(
-            OnlineCheckpoint::decode(&sealed),
-            Err(CheckpointError::BadPlatform(0x77))
-        );
+        // A correctly sealed envelope still rejects a bad platform index,
+        // at the current version and at the oldest accepted one.
+        for version in [2u8, 3] {
+            let mut sealed = vec![b'M', b'F', b'C', b'1', version, 0x77];
+            sealed.extend_from_slice(&crate::wal::crc32(&sealed).to_be_bytes());
+            assert_eq!(
+                OnlineCheckpoint::decode(&sealed),
+                Err(CheckpointError::BadPlatform(0x77))
+            );
+        }
         // Corrupted length field: bounded, not a huge allocation.
         let lake = DataLake::new();
         let registry = ModelRegistry::new();
@@ -727,6 +839,132 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn restore_from_v2_checkpoint_matches_the_rebuild_path() {
+        // A pre-trace (v2) envelope must still decode, and restoring
+        // from it must reproduce what rebuilding from scratch would:
+        // identical alarms and invocation counts over the same suffix.
+        // The v3 envelope of the same state additionally carries the
+        // score trace through the crash.
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let dimms = [DimmId::new(1, 0), DimmId::new(2, 1)];
+        setup(&lake, &registry, &dimms);
+        let events = stream(&dimms);
+        let end = SimTime::from_secs(6 * 86_400);
+        let cut = events.len() / 2;
+
+        let ref_store = store();
+        let mut reference = OnlinePredictor::new(
+            &lake,
+            &ref_store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        reference.set_score_trace(true);
+        for e in &events {
+            reference.observe(e);
+        }
+        reference.finish(end);
+        assert!(!reference.score_trace().is_empty());
+
+        let s1 = store();
+        let mut first = OnlinePredictor::new(
+            &lake,
+            &s1,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        first.set_score_trace(true);
+        for e in &events[..cut] {
+            first.observe(e);
+        }
+        let cp = OnlineCheckpoint::capture(&first, &s1);
+        let v2 = cp.encode_versioned(2);
+        let v3 = cp.encode();
+        assert_eq!(v2[4], 2);
+        assert_eq!(v3[4], 3);
+
+        let old = OnlineCheckpoint::decode(&v2).unwrap();
+        assert_eq!(old.trace, None, "v2 predates the trace section");
+        assert_eq!(old.alarms, cp.alarms);
+        assert_eq!(old.streams, cp.streams);
+        let s2 = store();
+        let mut resumed = old.restore(&lake, &s2, &registry);
+        for e in &events[cut..] {
+            resumed.observe(e);
+        }
+        resumed.finish(end);
+        assert_eq!(resumed.alarms(), reference.alarms());
+        assert_eq!(resumed.scored(), reference.scored());
+
+        let s3 = store();
+        let mut traced = OnlineCheckpoint::decode(&v3).unwrap().restore(&lake, &s3, &registry);
+        for e in &events[cut..] {
+            traced.observe(e);
+        }
+        traced.finish(end);
+        assert_eq!(traced.alarms(), reference.alarms());
+        assert_eq!(
+            traced.score_trace(),
+            reference.score_trace(),
+            "a v3 restore must carry the pre-crash score trace through"
+        );
+    }
+
+    #[test]
+    fn try_capture_reports_shard_count_as_typed_error() {
+        use crate::serve::{make_stores, ShardedOnline};
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let stores = make_stores(2, ProblemConfig::default(), FaultThresholds::default());
+        let engine = ShardedOnline::new(
+            &lake,
+            &stores,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        let other = make_stores(3, ProblemConfig::default(), FaultThresholds::default());
+        let err = ServeCheckpoint::try_capture(&engine, &other).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::ShardCount {
+                captured: 2,
+                stores: 3
+            }
+        );
+        assert!(ServeCheckpoint::try_capture(&engine, &stores).is_ok());
+    }
+
+    #[test]
+    fn try_restore_reports_shard_count_as_typed_error() {
+        use crate::serve::{make_stores, ShardedOnline};
+        let lake = DataLake::new();
+        let registry = ModelRegistry::new();
+        let stores = make_stores(2, ProblemConfig::default(), FaultThresholds::default());
+        let engine = ShardedOnline::new(
+            &lake,
+            &stores,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        let cp = ServeCheckpoint::capture(&engine, &stores);
+        let other = make_stores(4, ProblemConfig::default(), FaultThresholds::default());
+        let err = cp.try_restore(&lake, &other, &registry).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::ShardCount {
+                captured: 2,
+                stores: 4
+            }
+        );
+        assert!(cp.try_restore(&lake, &stores, &registry).is_ok());
     }
 
     #[test]

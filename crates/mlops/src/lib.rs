@@ -35,6 +35,10 @@
 //!   units with panic capture, heartbeat hang detection, deterministic
 //!   bounded backoff, and poison-record quarantine, gated by a seeded
 //!   crash-chaos injector against the sequential oracle.
+//! * [`procserve`] — process-isolated serving: each shard in its own
+//!   OS process behind a crc32-framed `MFP1` pipe protocol, supervised
+//!   through real `SIGKILL`s, exit-status capture and heartbeat
+//!   deadlines, recovering bit-identically from its per-shard WAL.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +53,7 @@ pub mod lifecycle;
 pub mod mitigation;
 pub mod monitor;
 pub mod online;
+pub mod procserve;
 pub mod registry;
 pub mod serve;
 pub mod supervise;
@@ -73,6 +78,10 @@ pub mod prelude {
     pub use crate::serve::{
         make_stores, serve_pipeline, shard_of, shard_route, ServeConfig, ServeError, ServeOutcome,
         ServeStats, ShardServeStats, ShardedOnline,
+    };
+    pub use crate::procserve::{
+        shard_worker_main, ModelSpec, ProcConfig, ProcError, ProcOutcome, ProcReport,
+        ProcSupervisor, WorkerCommand, WorkerSpec, WORKER_ENV,
     };
     pub use crate::supervise::{
         ChaosEvent, ChaosKind, ChaosPlan, SuperviseConfig, SupervisedOutcome, Supervisor,

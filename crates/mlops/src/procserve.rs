@@ -1,0 +1,2483 @@
+//! Process-isolated shard serving: OS-process workers, a crc32-framed
+//! IPC scoring plane, and a supervisor that survives `SIGKILL`.
+//!
+//! [`crate::supervise`] made shards restartable, but every unit still
+//! lives in the supervisor's address space — a real segfault, OOM kill
+//! or runaway loop takes the whole engine down. This module moves each
+//! [`crate::wal::DurableShard`] into its own **OS process**: a worker is
+//! a re-exec of the current binary in a hidden `--shard-worker` mode,
+//! speaking length-prefixed `MFP1` frames over its stdin/stdout pipes.
+//! Ingest batches flow down; progress heartbeats, crash notices and the
+//! final alarm/score report flow up.
+//!
+//! # Protocol
+//!
+//! A stream opens with a 5-byte header (`MFP1` magic + version), then
+//! carries frames laid out exactly like `MFW1` WAL records:
+//!
+//! ```text
+//! kind: u8 | seq: u64 BE | len: u32 BE | payload | crc32 BE
+//! ```
+//!
+//! The crc covers everything before it. [`scan_frames`] is a prefix
+//! decoder with the same torn-tail semantics as [`crate::wal::scan`],
+//! and [`FrameReader`] incrementalizes it over a byte stream, skipping
+//! any pre-header garbage (a test-harness banner, say) before locking
+//! onto the magic. `Outputs` payloads *are* WAL record bytes — the
+//! worker's log and the wire share one codec.
+//!
+//! # Supervision
+//!
+//! [`ProcSupervisor`] generalizes [`crate::supervise::Supervisor`] to
+//! process lifecycles: logical-time heartbeats (one tick per canonical
+//! output; a worker that misses an ack deadline or is injected with a
+//! hang gets `SIGKILL`ed after [`ProcConfig::heartbeat_timeout`] ticks),
+//! exit-status and death-signal capture, bounded deterministic backoff,
+//! and poison quarantine keyed by per-shard sequence. Acked frames are
+//! durable — the worker flushes its WAL before answering `Progress` —
+//! so a `SIGKILL`ed worker replays only its own `MFW2` log and resumes
+//! bit-identically; the supervisor re-feeds the unacked suffix from its
+//! routed backlog. A shard past its restart budget degrades instead of
+//! wedging the merge: its DIMMs report
+//! [`crate::serve::ServeError::ShardUnavailable`] via
+//! [`ProcOutcome::dimm_status`].
+
+use crate::feature_store::FeatureStore;
+use crate::ingest::IngestOutput;
+use crate::lake::DataLake;
+use crate::online::{Alarm, OnlineConfig, ScoreRecord};
+use crate::registry::ModelRegistry;
+use crate::serve::{shard_of, shard_route, ServeError};
+use crate::supervise::{
+    bounded_backoff, poison_guard, silence_chaos_panics, tear_wal_tail, ChaosKind, ChaosPlan,
+};
+use crate::wal::{
+    batch_outputs, check_meta, crc32, decode_record, encode_record, quarantine_output, shard_dir,
+    DurableConfig, DurableShard, FlushStatus, WalError, WalPayload, WalRecord, RECORD_HEADER_LEN,
+};
+use mfp_dram::address::DimmId;
+use mfp_dram::geometry::{DataWidth, DeviceGeometry, Platform};
+use mfp_dram::spec::{DieProcess, DimmSpec, Frequency, Manufacturer};
+use mfp_dram::time::{SimDuration, SimTime};
+use mfp_features::fault_analysis::FaultThresholds;
+use mfp_features::labeling::ProblemConfig;
+use mfp_ml::metrics::{Confusion, Evaluation};
+use mfp_ml::model::{Algorithm, Model};
+use mfp_ml::risky_ce::{RiskyCeParams, RiskyCePattern};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Magic opening every IPC stream.
+pub const IPC_MAGIC: [u8; 4] = *b"MFP1";
+
+/// Protocol version carried in the stream header.
+pub const IPC_VERSION: u8 = 1;
+
+/// Environment variable that switches a re-exec'd binary into worker
+/// mode (set by [`WorkerCommand::spawn`], checked by `src/main.rs` and
+/// the test-harness entry).
+pub const WORKER_ENV: &str = "MFP_SHARD_WORKER";
+
+/// Stream-header length: magic + version.
+const STREAM_HEADER_LEN: usize = IPC_MAGIC.len() + 1;
+
+/// Upper bound on a frame payload; a length field above this is treated
+/// as corruption rather than an allocation request.
+const MAX_FRAME_PAYLOAD: usize = 1 << 28;
+
+// Frame kinds, router → worker.
+const K_INIT: u8 = 1;
+const K_OUTPUTS: u8 = 2;
+const K_POISON: u8 = 3;
+const K_HANG: u8 = 4;
+const K_FINISH: u8 = 5;
+const K_EXIT: u8 = 6;
+// Frame kinds, worker → router.
+const K_HELLO: u8 = 17;
+const K_PROGRESS: u8 = 18;
+const K_CRASHED: u8 = 19;
+const K_REPORT: u8 = 20;
+
+/// Everything that can go wrong on the process-serving plane.
+#[derive(Debug)]
+pub enum ProcError {
+    /// A real I/O failure on a pipe, the WAL root, or process spawn.
+    Io(std::io::Error),
+    /// A WAL-layer failure surfaced through a worker or quarantine.
+    Wal(WalError),
+    /// The stream never presented the `MFP1` magic.
+    BadHeader,
+    /// A frame failed its crc or carried an insane length.
+    CorruptFrame,
+    /// A structurally valid frame that violates the protocol (unknown
+    /// kind, short payload, unexpected message for the state).
+    Protocol(&'static str),
+    /// A [`WorkerSpec`] field failed to decode.
+    Spec(&'static str),
+    /// The spec named a model kind this build cannot reconstruct.
+    UnsupportedModel(u8),
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcError::Io(e) => write!(f, "ipc i/o error: {e}"),
+            ProcError::Wal(e) => write!(f, "wal error: {e}"),
+            ProcError::BadHeader => write!(f, "ipc stream does not start with the MFP1 header"),
+            ProcError::CorruptFrame => write!(f, "ipc frame failed crc or length validation"),
+            ProcError::Protocol(what) => write!(f, "ipc protocol violation: {what}"),
+            ProcError::Spec(what) => write!(f, "malformed worker spec: {what}"),
+            ProcError::UnsupportedModel(k) => write!(f, "unsupported model kind {k} in spec"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProcError::Io(e) => Some(e),
+            ProcError::Wal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProcError {
+    fn from(e: std::io::Error) -> Self {
+        ProcError::Io(e)
+    }
+}
+
+impl From<WalError> for ProcError {
+    fn from(e: WalError) -> Self {
+        ProcError::Wal(e)
+    }
+}
+
+/// The 5-byte stream opener every side writes before its first frame.
+pub fn stream_header() -> [u8; STREAM_HEADER_LEN] {
+    let mut h = [0u8; STREAM_HEADER_LEN];
+    h[..4].copy_from_slice(&IPC_MAGIC);
+    h[4] = IPC_VERSION;
+    h
+}
+
+/// One decoded `MFP1` frame, kind-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFrame {
+    /// Message kind (`K_*`).
+    pub kind: u8,
+    /// Sequence/primary field; meaning depends on the kind.
+    pub seq: u64,
+    /// Kind-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes one frame: the `MFW1` record layout with an arbitrary kind.
+pub fn encode_frame(kind: u8, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(RECORD_HEADER_LEN + payload.len() + 4);
+    buf.push(kind);
+    buf.extend_from_slice(&seq.to_be_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_be_bytes());
+    buf
+}
+
+/// Decodes one frame from exactly `data`: `None` on any length or crc
+/// mismatch.
+pub(crate) fn decode_frame(data: &[u8]) -> Option<RawFrame> {
+    if data.len() < RECORD_HEADER_LEN + 4 {
+        return None;
+    }
+    let plen = u32::from_be_bytes(data[9..13].try_into().ok()?) as usize;
+    if plen > MAX_FRAME_PAYLOAD {
+        return None;
+    }
+    let total = RECORD_HEADER_LEN.checked_add(plen)?.checked_add(4)?;
+    if data.len() != total {
+        return None;
+    }
+    let body = &data[..RECORD_HEADER_LEN + plen];
+    let stored = u32::from_be_bytes(data[total - 4..].try_into().ok()?);
+    if crc32(body) != stored {
+        return None;
+    }
+    Some(RawFrame {
+        kind: data[0],
+        seq: u64::from_be_bytes(data[1..9].try_into().ok()?),
+        payload: data[RECORD_HEADER_LEN..RECORD_HEADER_LEN + plen].to_vec(),
+    })
+}
+
+/// What a [`scan_frames`] pass found in a byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameScan {
+    /// Frames decoded from the longest valid prefix.
+    pub frames: Vec<RawFrame>,
+    /// Bytes covered by the header plus every decoded frame.
+    pub valid_bytes: u64,
+    /// Trailing bytes past the valid prefix (torn or corrupt).
+    pub torn_bytes: u64,
+}
+
+/// Prefix-decodes a complete buffered stream, mirroring
+/// [`crate::wal::scan`]: a valid prefix of the header is a torn-empty
+/// stream, any other opening is [`ProcError::BadHeader`], and the first
+/// undecodable frame ends the valid prefix — everything after it counts
+/// as torn, never as a misparsed frame.
+pub fn scan_frames(data: &[u8]) -> Result<FrameScan, ProcError> {
+    let header = stream_header();
+    if data.len() < STREAM_HEADER_LEN {
+        if data == &header[..data.len()] {
+            return Ok(FrameScan {
+                frames: Vec::new(),
+                valid_bytes: 0,
+                torn_bytes: data.len() as u64,
+            });
+        }
+        return Err(ProcError::BadHeader);
+    }
+    if data[..STREAM_HEADER_LEN] != header {
+        return Err(ProcError::BadHeader);
+    }
+    let mut frames = Vec::new();
+    let mut pos = STREAM_HEADER_LEN;
+    loop {
+        let rest = &data[pos..];
+        if rest.len() < RECORD_HEADER_LEN + 4 {
+            break;
+        }
+        let plen = u32::from_be_bytes(rest[9..13].try_into().expect("4 bytes")) as usize;
+        if plen > MAX_FRAME_PAYLOAD {
+            break;
+        }
+        let total = RECORD_HEADER_LEN + plen + 4;
+        if rest.len() < total {
+            break;
+        }
+        match decode_frame(&rest[..total]) {
+            Some(f) => {
+                frames.push(f);
+                pos += total;
+            }
+            None => break,
+        }
+    }
+    Ok(FrameScan {
+        frames,
+        valid_bytes: pos as u64,
+        torn_bytes: (data.len() - pos) as u64,
+    })
+}
+
+/// One step of incremental frame decoding.
+#[derive(Debug)]
+pub enum FrameStep {
+    /// A complete, crc-valid frame.
+    Frame(RawFrame),
+    /// The buffer holds at most a frame prefix; feed more bytes.
+    NeedMore,
+    /// The stream is unrecoverable: a complete frame failed its crc or
+    /// declared an insane length. The peer must be restarted.
+    Corrupt,
+}
+
+/// Incremental `MFP1` decoder over a byte stream. Before locking onto
+/// the stream header it discards leading garbage (pipes inherited from
+/// a test harness may carry a banner before the worker writes its
+/// header); after lock-on, framing errors are terminal.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    locked: bool,
+}
+
+impl FrameReader {
+    /// An empty reader, not yet locked onto a header.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends raw bytes read off the pipe.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Tries to produce the next frame from buffered bytes.
+    pub fn next(&mut self) -> FrameStep {
+        if !self.locked {
+            let header = stream_header();
+            match self
+                .buf
+                .windows(STREAM_HEADER_LEN)
+                .position(|w| w == header)
+            {
+                Some(i) => {
+                    self.buf.drain(..i + STREAM_HEADER_LEN);
+                    self.locked = true;
+                }
+                None => {
+                    // Keep a possible partial header at the tail.
+                    let keep = self.buf.len().min(STREAM_HEADER_LEN - 1);
+                    self.buf.drain(..self.buf.len() - keep);
+                    return FrameStep::NeedMore;
+                }
+            }
+        }
+        if self.buf.len() < RECORD_HEADER_LEN + 4 {
+            return FrameStep::NeedMore;
+        }
+        let plen = u32::from_be_bytes(self.buf[9..13].try_into().expect("4 bytes")) as usize;
+        if plen > MAX_FRAME_PAYLOAD {
+            return FrameStep::Corrupt;
+        }
+        let total = RECORD_HEADER_LEN + plen + 4;
+        if self.buf.len() < total {
+            return FrameStep::NeedMore;
+        }
+        match decode_frame(&self.buf[..total]) {
+            Some(f) => {
+                self.buf.drain(..total);
+                FrameStep::Frame(f)
+            }
+            None => FrameStep::Corrupt,
+        }
+    }
+}
+
+/// A bounds-checked big-endian read cursor over a frame payload.
+struct Cur<'b> {
+    data: &'b [u8],
+}
+
+impl<'b> Cur<'b> {
+    fn new(data: &'b [u8]) -> Self {
+        Cur { data }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'b [u8], ProcError> {
+        if self.data.len() < n {
+            return Err(ProcError::Protocol("payload shorter than declared"));
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProcError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProcError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProcError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProcError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f32(&mut self) -> Result<f32, ProcError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn done(&self) -> Result<(), ProcError> {
+        if self.data.is_empty() {
+            Ok(())
+        } else {
+            Err(ProcError::Protocol("trailing bytes after payload"))
+        }
+    }
+}
+
+/// The model a worker must reconstruct before serving. Only the
+/// dependency-free rule model crosses the wire today — tree ensembles
+/// would ship as registry references, not inline weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelSpec {
+    /// The paper's risky-CE pattern rule with its decision threshold.
+    RiskyCe {
+        /// Rule parameters.
+        params: RiskyCeParams,
+        /// Promotion/decision threshold.
+        threshold: f32,
+    },
+}
+
+impl ModelSpec {
+    /// The default rule model at threshold 0.5.
+    pub fn default_risky_ce() -> Self {
+        ModelSpec::RiskyCe {
+            params: RiskyCeParams::default(),
+            threshold: 0.5,
+        }
+    }
+
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            ModelSpec::RiskyCe { params, threshold } => {
+                buf.push(1);
+                buf.extend_from_slice(&params.min_complex.to_bits().to_be_bytes());
+                buf.push(params.require_interval4 as u8);
+                buf.extend_from_slice(&params.min_rows.to_bits().to_be_bytes());
+                buf.extend_from_slice(&threshold.to_bits().to_be_bytes());
+            }
+        }
+    }
+
+    fn decode_from(cur: &mut Cur<'_>) -> Result<Self, ProcError> {
+        match cur.u8()? {
+            1 => Ok(ModelSpec::RiskyCe {
+                params: RiskyCeParams {
+                    min_complex: cur.f32()?,
+                    require_interval4: cur.u8()? != 0,
+                    min_rows: cur.f32()?,
+                },
+                threshold: cur.f32()?,
+            }),
+            k => Err(ProcError::UnsupportedModel(k)),
+        }
+    }
+}
+
+fn enum_idx<T: PartialEq + Copy>(all: &[T], v: T, what: &'static str) -> Result<u8, ProcError> {
+    all.iter()
+        .position(|x| *x == v)
+        .map(|i| i as u8)
+        .ok_or(ProcError::Spec(what))
+}
+
+fn enum_at<T: Copy>(all: &[T], i: u8, what: &'static str) -> Result<T, ProcError> {
+    all.get(i as usize).copied().ok_or(ProcError::Spec(what))
+}
+
+/// Everything a worker needs to rebuild its serving world from scratch:
+/// shard identity and WAL root, platform, engine and durability knobs,
+/// feature-problem geometry, the inline model, the DIMM catalog, and
+/// the currently armed poison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSpec {
+    /// This worker's shard index.
+    pub shard: usize,
+    /// The shard's WAL/checkpoint directory.
+    pub dir: PathBuf,
+    /// Platform whose promoted model serves.
+    pub platform: Platform,
+    /// Online-engine knobs.
+    pub online: OnlineConfig,
+    /// Durability knobs.
+    pub durable: DurableConfig,
+    /// Labeling/problem windows for the feature store.
+    pub problem: ProblemConfig,
+    /// Fault-analysis thresholds for the feature store.
+    pub thresholds: FaultThresholds,
+    /// The model to register and promote.
+    pub model: ModelSpec,
+    /// Full DIMM catalog (the routing hash picks this shard's subset).
+    pub catalog: Vec<(DimmId, DimmSpec)>,
+    /// Armed poison: `(per-shard seq, remaining fails)`, `u32::MAX`
+    /// meaning permanent.
+    pub poison: Vec<(u64, u32)>,
+}
+
+impl WorkerSpec {
+    fn encode_into(&self, buf: &mut Vec<u8>) -> Result<(), ProcError> {
+        buf.extend_from_slice(&(self.shard as u32).to_be_bytes());
+        let dir = self
+            .dir
+            .to_str()
+            .ok_or(ProcError::Spec("non-utf8 shard dir"))?;
+        buf.extend_from_slice(&(dir.len() as u16).to_be_bytes());
+        buf.extend_from_slice(dir.as_bytes());
+        buf.push(enum_idx(&Platform::ALL, self.platform, "platform")?);
+        for secs in [
+            self.online.prediction_interval.as_secs(),
+            self.online.votes as u64,
+            self.online.alarm_cooldown.as_secs(),
+            self.online.degraded_grace.as_secs(),
+        ] {
+            buf.extend_from_slice(&secs.to_be_bytes());
+        }
+        buf.extend_from_slice(&(self.durable.batch as u64).to_be_bytes());
+        buf.extend_from_slice(&self.durable.compact_every.to_be_bytes());
+        buf.push(self.durable.fsync as u8);
+        buf.push(self.durable.record_scores as u8);
+        for secs in [
+            self.problem.observation.as_secs(),
+            self.problem.lead.as_secs(),
+            self.problem.prediction.as_secs(),
+            self.problem.sample_interval.as_secs(),
+        ] {
+            buf.extend_from_slice(&secs.to_be_bytes());
+        }
+        for t in [
+            self.thresholds.cell_repeats,
+            self.thresholds.row_distinct_cols,
+            self.thresholds.col_distinct_rows,
+            self.thresholds.bank_distinct,
+        ] {
+            buf.extend_from_slice(&t.to_be_bytes());
+        }
+        self.model.encode_into(buf);
+        buf.extend_from_slice(&(self.catalog.len() as u32).to_be_bytes());
+        for (id, spec) in &self.catalog {
+            buf.extend_from_slice(&id.server.0.to_be_bytes());
+            buf.push(id.slot);
+            buf.push(enum_idx(&Manufacturer::ALL, spec.manufacturer, "manufacturer")?);
+            buf.push(match spec.width {
+                DataWidth::X4 => 0,
+                DataWidth::X8 => 1,
+            });
+            buf.push(enum_idx(&Frequency::ALL, spec.frequency, "frequency")?);
+            buf.push(enum_idx(&DieProcess::ALL, spec.process, "die process")?);
+            buf.extend_from_slice(&spec.capacity_gib.to_be_bytes());
+            buf.push(spec.ranks);
+            buf.push(spec.geometry.bank_groups);
+            buf.push(spec.geometry.banks_per_group);
+            buf.push(spec.geometry.row_bits);
+            buf.push(spec.geometry.col_bits);
+        }
+        buf.extend_from_slice(&(self.poison.len() as u32).to_be_bytes());
+        for &(seq, fails) in &self.poison {
+            buf.extend_from_slice(&seq.to_be_bytes());
+            buf.extend_from_slice(&fails.to_be_bytes());
+        }
+        Ok(())
+    }
+
+    fn decode_from(cur: &mut Cur<'_>) -> Result<Self, ProcError> {
+        let shard = cur.u32()? as usize;
+        let dlen = cur.u16()? as usize;
+        let dir = std::str::from_utf8(cur.take(dlen)?)
+            .map_err(|_| ProcError::Spec("non-utf8 shard dir"))?;
+        let platform = enum_at(&Platform::ALL, cur.u8()?, "platform")?;
+        let online = OnlineConfig {
+            prediction_interval: SimDuration::secs(cur.u64()?),
+            votes: cur.u64()? as usize,
+            alarm_cooldown: SimDuration::secs(cur.u64()?),
+            degraded_grace: SimDuration::secs(cur.u64()?),
+        };
+        let durable = DurableConfig {
+            batch: cur.u64()? as usize,
+            compact_every: cur.u64()?,
+            fsync: cur.u8()? != 0,
+            record_scores: cur.u8()? != 0,
+        };
+        let problem = ProblemConfig {
+            observation: SimDuration::secs(cur.u64()?),
+            lead: SimDuration::secs(cur.u64()?),
+            prediction: SimDuration::secs(cur.u64()?),
+            sample_interval: SimDuration::secs(cur.u64()?),
+        };
+        let thresholds = FaultThresholds {
+            cell_repeats: cur.u32()?,
+            row_distinct_cols: cur.u32()?,
+            col_distinct_rows: cur.u32()?,
+            bank_distinct: cur.u32()?,
+        };
+        let model = ModelSpec::decode_from(cur)?;
+        let n_dimms = cur.u32()? as usize;
+        let mut catalog = Vec::with_capacity(n_dimms.min(1 << 20));
+        for _ in 0..n_dimms {
+            let server = cur.u32()?;
+            let slot = cur.u8()?;
+            let manufacturer = enum_at(&Manufacturer::ALL, cur.u8()?, "manufacturer")?;
+            let width = match cur.u8()? {
+                0 => DataWidth::X4,
+                1 => DataWidth::X8,
+                _ => return Err(ProcError::Spec("data width")),
+            };
+            let frequency = enum_at(&Frequency::ALL, cur.u8()?, "frequency")?;
+            let process = enum_at(&DieProcess::ALL, cur.u8()?, "die process")?;
+            let capacity_gib = cur.u16()?;
+            let ranks = cur.u8()?;
+            let geometry = DeviceGeometry {
+                bank_groups: cur.u8()?,
+                banks_per_group: cur.u8()?,
+                row_bits: cur.u8()?,
+                col_bits: cur.u8()?,
+            };
+            catalog.push((
+                DimmId::new(server, slot),
+                DimmSpec {
+                    manufacturer,
+                    width,
+                    frequency,
+                    process,
+                    capacity_gib,
+                    ranks,
+                    geometry,
+                },
+            ));
+        }
+        let n_poison = cur.u32()? as usize;
+        let mut poison = Vec::with_capacity(n_poison.min(1 << 20));
+        for _ in 0..n_poison {
+            poison.push((cur.u64()?, cur.u32()?));
+        }
+        Ok(WorkerSpec {
+            shard,
+            dir: PathBuf::from(dir),
+            platform,
+            online,
+            durable,
+            problem,
+            thresholds,
+            model,
+            catalog,
+            poison,
+        })
+    }
+}
+
+/// One protocol message, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Router → worker: rebuild the world and recover the shard.
+    Init(WorkerSpec),
+    /// Router → worker: a batch of routed outputs as WAL record bytes;
+    /// the worker must flush before acking.
+    Outputs {
+        /// Records covering a contiguous per-shard sequence range.
+        records: Vec<WalRecord>,
+    },
+    /// Router → worker: (re)arm the poison table at one sequence.
+    Poison {
+        /// Per-shard sequence the poison binds to.
+        seq: u64,
+        /// Remaining fails (`u32::MAX` = permanent).
+        fails: u32,
+    },
+    /// Router → worker: chaos injection — stop making progress.
+    Hang,
+    /// Router → worker: run the final prediction ticks up to `until`
+    /// and answer with a [`Msg::Report`].
+    Finish {
+        /// End of simulated time.
+        until: SimTime,
+    },
+    /// Router → worker: exit cleanly.
+    Exit,
+    /// Worker → router: recovery done; resume feeding from `fed`.
+    Hello {
+        /// Outputs already durable+pending after recovery.
+        fed: u64,
+        /// Outputs re-applied from the WAL during recovery.
+        replayed: u64,
+        /// Quarantined sequences loaded from the side log.
+        quarantined: u64,
+    },
+    /// Worker → router: batch acked, WAL flushed (the heartbeat).
+    Progress {
+        /// Outputs consumed (applied or skipped).
+        consumed: u64,
+        /// Outputs durable in the WAL.
+        durable: u64,
+    },
+    /// Worker → router: the apply at `seq` crashed; the worker exits
+    /// after sending this.
+    Crashed {
+        /// Per-shard sequence of the crashing output.
+        seq: u64,
+    },
+    /// Worker → router: final merged output of this shard.
+    Report {
+        /// Alarms raised by this shard.
+        alarms: Vec<Alarm>,
+        /// Score trace (empty unless score recording is on).
+        scores: Vec<ScoreRecord>,
+        /// Model invocations.
+        scored: u64,
+    },
+}
+
+impl Msg {
+    /// Encodes the message as one complete frame.
+    pub fn encode(&self) -> Result<Vec<u8>, ProcError> {
+        let (kind, seq, payload) = match self {
+            Msg::Init(spec) => {
+                let mut p = Vec::new();
+                spec.encode_into(&mut p)?;
+                (K_INIT, spec.shard as u64, p)
+            }
+            Msg::Outputs { records } => {
+                let mut p = Vec::new();
+                for r in records {
+                    p.extend_from_slice(&encode_record(r));
+                }
+                (K_OUTPUTS, records.first().map_or(0, |r| r.seq), p)
+            }
+            Msg::Poison { seq, fails } => (K_POISON, *seq, fails.to_be_bytes().to_vec()),
+            Msg::Hang => (K_HANG, 0, Vec::new()),
+            Msg::Finish { until } => (K_FINISH, 0, until.as_secs().to_be_bytes().to_vec()),
+            Msg::Exit => (K_EXIT, 0, Vec::new()),
+            Msg::Hello {
+                fed,
+                replayed,
+                quarantined,
+            } => {
+                let mut p = Vec::with_capacity(16);
+                p.extend_from_slice(&replayed.to_be_bytes());
+                p.extend_from_slice(&quarantined.to_be_bytes());
+                (K_HELLO, *fed, p)
+            }
+            Msg::Progress { consumed, durable } => {
+                (K_PROGRESS, *consumed, durable.to_be_bytes().to_vec())
+            }
+            Msg::Crashed { seq } => (K_CRASHED, *seq, Vec::new()),
+            Msg::Report {
+                alarms,
+                scores,
+                scored,
+            } => {
+                let mut p = Vec::with_capacity(8 + alarms.len() * 17 + scores.len() * 17);
+                p.extend_from_slice(&(alarms.len() as u32).to_be_bytes());
+                for a in alarms {
+                    p.extend_from_slice(&a.dimm.server.0.to_be_bytes());
+                    p.push(a.dimm.slot);
+                    p.extend_from_slice(&a.time.as_secs().to_be_bytes());
+                    p.extend_from_slice(&a.score.to_bits().to_be_bytes());
+                }
+                p.extend_from_slice(&(scores.len() as u32).to_be_bytes());
+                for r in scores {
+                    p.extend_from_slice(&r.time.as_secs().to_be_bytes());
+                    p.extend_from_slice(&r.dimm.server.0.to_be_bytes());
+                    p.push(r.dimm.slot);
+                    p.extend_from_slice(&r.score.to_bits().to_be_bytes());
+                }
+                (K_REPORT, *scored, p)
+            }
+        };
+        Ok(encode_frame(kind, seq, &payload))
+    }
+
+    /// Parses one decoded frame into a message.
+    pub fn parse(frame: &RawFrame) -> Result<Msg, ProcError> {
+        let mut cur = Cur::new(&frame.payload);
+        let msg = match frame.kind {
+            K_INIT => Msg::Init(WorkerSpec::decode_from(&mut cur)?),
+            K_OUTPUTS => {
+                let mut records = Vec::new();
+                let mut rest: &[u8] = &frame.payload;
+                while !rest.is_empty() {
+                    if rest.len() < RECORD_HEADER_LEN + 4 {
+                        return Err(ProcError::Protocol("truncated wal record in outputs"));
+                    }
+                    let plen =
+                        u32::from_be_bytes(rest[9..13].try_into().expect("4 bytes")) as usize;
+                    let total = RECORD_HEADER_LEN
+                        .checked_add(plen)
+                        .and_then(|t| t.checked_add(4))
+                        .ok_or(ProcError::Protocol("wal record length overflow"))?;
+                    if rest.len() < total {
+                        return Err(ProcError::Protocol("truncated wal record in outputs"));
+                    }
+                    let rec = decode_record(&rest[..total])
+                        .ok_or(ProcError::Protocol("undecodable wal record in outputs"))?;
+                    records.push(rec);
+                    rest = &rest[total..];
+                }
+                return Ok(Msg::Outputs { records });
+            }
+            K_POISON => Msg::Poison {
+                seq: frame.seq,
+                fails: cur.u32()?,
+            },
+            K_HANG => Msg::Hang,
+            K_FINISH => Msg::Finish {
+                until: SimTime::from_secs(cur.u64()?),
+            },
+            K_EXIT => Msg::Exit,
+            K_HELLO => Msg::Hello {
+                fed: frame.seq,
+                replayed: cur.u64()?,
+                quarantined: cur.u64()?,
+            },
+            K_PROGRESS => Msg::Progress {
+                consumed: frame.seq,
+                durable: cur.u64()?,
+            },
+            K_CRASHED => Msg::Crashed { seq: frame.seq },
+            K_REPORT => {
+                let n_alarms = cur.u32()? as usize;
+                let mut alarms = Vec::with_capacity(n_alarms.min(1 << 20));
+                for _ in 0..n_alarms {
+                    let server = cur.u32()?;
+                    let slot = cur.u8()?;
+                    alarms.push(Alarm {
+                        dimm: DimmId::new(server, slot),
+                        time: SimTime::from_secs(cur.u64()?),
+                        score: cur.f32()?,
+                    });
+                }
+                let n_scores = cur.u32()? as usize;
+                let mut scores = Vec::with_capacity(n_scores.min(1 << 20));
+                for _ in 0..n_scores {
+                    let time = SimTime::from_secs(cur.u64()?);
+                    let server = cur.u32()?;
+                    let slot = cur.u8()?;
+                    scores.push(ScoreRecord {
+                        time,
+                        dimm: DimmId::new(server, slot),
+                        score: cur.f32()?,
+                    });
+                }
+                Msg::Report {
+                    alarms,
+                    scores,
+                    scored: frame.seq,
+                }
+            }
+            _ => return Err(ProcError::Protocol("unknown frame kind")),
+        };
+        cur.done()?;
+        Ok(msg)
+    }
+}
+
+/// Expands one WAL record into `(per-shard seq, output)` pairs, exactly
+/// as WAL replay does.
+fn expand_record(rec: &WalRecord) -> Vec<(u64, IngestOutput)> {
+    match &rec.payload {
+        WalPayload::Events(events) => events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (rec.seq + i as u64, IngestOutput::Released(*e)))
+            .collect(),
+        WalPayload::Gap(g) => vec![(rec.seq, IngestOutput::Gap(*g))],
+    }
+}
+
+/// Reads frames off `input` until one full message (or EOF) arrives.
+/// EOF mid-frame is reported as end-of-stream: the router is gone and
+/// the worker's only move is a clean exit.
+fn read_msg(reader: &mut FrameReader, input: &mut impl Read) -> Result<Option<Msg>, ProcError> {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match reader.next() {
+            FrameStep::Frame(f) => return Msg::parse(&f).map(Some),
+            FrameStep::Corrupt => return Err(ProcError::CorruptFrame),
+            FrameStep::NeedMore => {
+                let n = input.read(&mut chunk)?;
+                if n == 0 {
+                    return Ok(None);
+                }
+                reader.push(&chunk[..n]);
+            }
+        }
+    }
+}
+
+/// Writes one message as a frame and flushes the pipe.
+fn write_msg(w: &mut impl Write, msg: &Msg) -> Result<(), ProcError> {
+    w.write_all(&msg.encode()?)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Entry point of `--shard-worker` mode: runs the worker protocol over
+/// stdin/stdout and returns the process exit code. Exit code 0 covers
+/// both clean shutdown and a reported crash (the supervisor learned the
+/// sequence from the `Crashed` frame); code 3 is a real failure.
+pub fn shard_worker_main() -> i32 {
+    silence_chaos_panics();
+    match worker_run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("shard worker failed: {e}");
+            3
+        }
+    }
+}
+
+fn worker_run() -> Result<i32, ProcError> {
+    let mut input = std::io::stdin().lock();
+    // Direct handle, not the `print!` capture shim: under a test
+    // harness the frames must reach the real pipe.
+    let mut output = std::io::stdout().lock();
+    output.write_all(&stream_header())?;
+    output.flush()?;
+    let mut reader = FrameReader::new();
+
+    let spec = match read_msg(&mut reader, &mut input)? {
+        None => return Ok(0),
+        Some(Msg::Init(spec)) => spec,
+        Some(_) => return Err(ProcError::Protocol("expected Init as the first frame")),
+    };
+
+    // Rebuild the serving world from the spec. Workers are ephemeral:
+    // everything long-lived is on disk under `spec.dir`.
+    let lake = DataLake::new();
+    for (id, dimm_spec) in &spec.catalog {
+        lake.register_dimm(*id, spec.platform, *dimm_spec);
+    }
+    let store = FeatureStore::new(spec.problem, spec.thresholds);
+    let registry = ModelRegistry::new();
+    let ModelSpec::RiskyCe { params, threshold } = spec.model;
+    let eval = Evaluation::from_confusion(
+        Confusion {
+            tp: 1,
+            fp: 0,
+            fn_: 0,
+            tn: 1,
+        },
+        threshold,
+    );
+    let mid = registry.register(
+        Algorithm::RiskyCePattern,
+        spec.platform,
+        SimTime::ZERO,
+        eval,
+        threshold,
+        Model::RiskyCe(RiskyCePattern::new(params)),
+    );
+    registry.promote(mid);
+    let mut poison: BTreeMap<u64, u32> = spec.poison.iter().copied().collect();
+
+    let (mut unit, recovery) = {
+        let mut guard = poison_guard(&mut poison);
+        DurableShard::open(
+            &spec.dir,
+            &lake,
+            &store,
+            &registry,
+            spec.platform,
+            spec.online,
+            spec.durable,
+            spec.shard,
+            &mut guard,
+        )?
+    };
+    if let Some(seq) = recovery.replay_crashed {
+        write_msg(&mut output, &Msg::Crashed { seq })?;
+        return Ok(0);
+    }
+    write_msg(
+        &mut output,
+        &Msg::Hello {
+            fed: unit.fed(),
+            replayed: recovery.outputs_replayed,
+            quarantined: unit.quarantined().len() as u64,
+        },
+    )?;
+
+    loop {
+        let msg = match read_msg(&mut reader, &mut input)? {
+            Some(m) => m,
+            None => return Ok(0),
+        };
+        match msg {
+            Msg::Outputs { records } => {
+                let mut crashed = None;
+                {
+                    let mut guard = poison_guard(&mut poison);
+                    'records: for rec in &records {
+                        for (seq, out) in expand_record(rec) {
+                            // A re-fed prefix after recovery is already
+                            // covered; skip what the WAL holds.
+                            if seq < unit.fed() {
+                                continue;
+                            }
+                            if let FlushStatus::Crashed { seq } = unit.push(out, &mut guard)? {
+                                crashed = Some(seq);
+                                break 'records;
+                            }
+                        }
+                    }
+                    if crashed.is_none() {
+                        // Ack ⇒ durable: everything in this frame hits
+                        // the WAL before Progress goes out.
+                        if let FlushStatus::Crashed { seq } = unit.flush(&mut guard)? {
+                            crashed = Some(seq);
+                        }
+                    }
+                }
+                match crashed {
+                    Some(seq) => {
+                        write_msg(&mut output, &Msg::Crashed { seq })?;
+                        return Ok(0);
+                    }
+                    None => write_msg(
+                        &mut output,
+                        &Msg::Progress {
+                            consumed: unit.consumed(),
+                            durable: unit.durable(),
+                        },
+                    )?,
+                }
+            }
+            Msg::Poison { seq, fails } => {
+                // The supervisor sends absolute remaining-fail counts
+                // from its master table; set, don't accumulate.
+                poison.insert(seq, fails);
+            }
+            Msg::Hang => loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            },
+            Msg::Finish { until } => {
+                let status = {
+                    let mut guard = poison_guard(&mut poison);
+                    unit.finish(until, &mut guard)?
+                };
+                match status {
+                    FlushStatus::Crashed { seq } => {
+                        write_msg(&mut output, &Msg::Crashed { seq })?;
+                        return Ok(0);
+                    }
+                    FlushStatus::Clean => write_msg(
+                        &mut output,
+                        &Msg::Report {
+                            alarms: unit.alarms().to_vec(),
+                            scores: unit.score_trace().to_vec(),
+                            scored: unit.scored(),
+                        },
+                    )?,
+                }
+            }
+            Msg::Exit => return Ok(0),
+            _ => return Err(ProcError::Protocol("unexpected message in worker loop")),
+        }
+    }
+}
+
+/// How to launch a worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerCommand {
+    /// Binary to execute.
+    pub program: PathBuf,
+    /// Arguments selecting worker mode in that binary.
+    pub args: Vec<String>,
+}
+
+impl WorkerCommand {
+    /// Re-exec the current binary with the hidden `--shard-worker`
+    /// flag — the production shape, served by `src/main.rs`.
+    pub fn current_exe() -> std::io::Result<Self> {
+        Ok(WorkerCommand {
+            program: std::env::current_exe()?,
+            args: vec!["--shard-worker".to_string()],
+        })
+    }
+
+    /// Re-exec the current *test harness*, filtered down to an
+    /// env-gated entry test (see `ipc_worker_entry`): lets integration
+    /// tests spawn real worker processes without a separate binary. The
+    /// filter is a substring match so it survives module-path changes
+    /// between harnesses.
+    pub fn test_harness(filter: &str) -> std::io::Result<Self> {
+        Ok(WorkerCommand {
+            program: std::env::current_exe()?,
+            args: vec![filter.to_string(), "--test-threads=1".to_string()],
+        })
+    }
+
+    /// Spawns one worker with piped stdin/stdout and the worker-mode
+    /// environment set.
+    fn spawn(&self) -> std::io::Result<Child> {
+        Command::new(&self.program)
+            .args(&self.args)
+            .env(WORKER_ENV, "1")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+    }
+}
+
+/// Process-supervision policy. Logical time ticks once per canonical
+/// output, exactly as in [`crate::supervise::SuperviseConfig`]; the one
+/// wall-clock knob is the ack deadline, which only fires when a worker
+/// is truly wedged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcConfig {
+    /// Ticks a hung worker survives before `SIGKILL`.
+    pub heartbeat_timeout: u64,
+    /// First-restart backoff delay, in ticks.
+    pub backoff_base: u64,
+    /// Upper bound on any backoff delay, in ticks.
+    pub backoff_cap: u64,
+    /// Restarts allowed per shard before it is marked failed.
+    pub max_restarts: u32,
+    /// Crashes at the same output before it is quarantined.
+    pub quarantine_after: u32,
+    /// Outputs per `Outputs` frame (and per ack round-trip).
+    pub batch: usize,
+    /// Wall-clock ack deadline per frame, in milliseconds.
+    pub ack_timeout_ms: u64,
+}
+
+impl Default for ProcConfig {
+    fn default() -> Self {
+        ProcConfig {
+            heartbeat_timeout: 4,
+            backoff_base: 1,
+            backoff_cap: 16,
+            max_restarts: 32,
+            quarantine_after: 3,
+            batch: 16,
+            ack_timeout_ms: 30_000,
+        }
+    }
+}
+
+/// What the process supervisor saw and did over one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcReport {
+    /// Worker restarts booked against shard budgets.
+    pub restarts: u64,
+    /// Crash notices (guard panics) received from workers.
+    pub panics_caught: u64,
+    /// Hangs detected (injected hangs whose heartbeat deadline passed).
+    pub hangs_detected: u64,
+    /// Injected kills that landed on a live worker.
+    pub kills_injected: u64,
+    /// Workers that died by `SIGKILL` (signal 9 in their wait status).
+    pub sigkills: u64,
+    /// Missed ack deadlines and expired hang heartbeats.
+    pub heartbeat_misses: u64,
+    /// Worker processes spawned, including initial opens.
+    pub spawns: u64,
+    /// Outputs re-applied from per-shard WALs across all restarts.
+    pub replayed_outputs: u64,
+    /// `(shard, per-shard seq)` of every output quarantined this run.
+    pub quarantined: Vec<(usize, u64)>,
+    /// Global stream indices of the quarantined outputs.
+    pub quarantined_outputs: Vec<u64>,
+    /// Shards that exhausted their restart budget.
+    pub failed_shards: Vec<usize>,
+}
+
+/// The merged fleet output of a process-supervised run.
+#[derive(Debug, Clone)]
+pub struct ProcOutcome {
+    /// Live shards' alarms merged by `(time, dimm)`.
+    pub alarms: Vec<Alarm>,
+    /// Live shards' score traces merged by `(time, dimm)`.
+    pub scores: Vec<ScoreRecord>,
+    /// Model invocations across live shards.
+    pub scored: u64,
+    /// Shards still serving at the end of the run.
+    pub live_shards: usize,
+    /// Total shard count (for routing queries).
+    pub shards: usize,
+    /// Everything the supervisor did along the way.
+    pub report: ProcReport,
+}
+
+impl ProcOutcome {
+    /// Degraded-mode routing check: `Err(ShardUnavailable)` if the
+    /// DIMM's home shard exhausted its restart budget, `Ok` otherwise.
+    pub fn dimm_status(&self, dimm: DimmId) -> Result<(), ServeError> {
+        let shard = shard_of(dimm, self.shards);
+        if self.report.failed_shards.contains(&shard) {
+            Err(ServeError::ShardUnavailable { shard })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A live worker process plus its pipes and reader thread.
+struct WorkerHandle {
+    child: Child,
+    stdin: ChildStdin,
+    rx: Receiver<Result<Msg, ProcError>>,
+    reader: Option<JoinHandle<()>>,
+    /// Outputs sent (== the worker's `fed` watermark after each ack).
+    sent: u64,
+}
+
+/// What `recv` saw.
+enum RecvOutcome {
+    Msg(Msg),
+    /// The pipe closed or delivered garbage: the worker is dead to us.
+    Died,
+    /// No answer within the ack deadline: the worker is wedged.
+    TimedOut,
+}
+
+/// How a feed round ended.
+enum FeedEnd {
+    Clean,
+    Crashed(u64),
+    Died { hung: bool },
+}
+
+/// A chaos injection waiting to bind to the next output routed to its
+/// shard (the supervisor-side mirror of `supervise`'s private enum).
+#[derive(Debug, Clone, Copy)]
+enum PPending {
+    Transient(u32),
+    Permanent,
+}
+
+/// Supervisor-side state of one shard that outlives its worker.
+#[derive(Debug, Default)]
+struct PCtl {
+    restarts: u32,
+    crash_counts: BTreeMap<u64, u32>,
+    /// Master poison table: remaining fails per per-shard seq
+    /// (`u32::MAX` = permanent). Decremented when a worker reports a
+    /// crash at an armed seq — the worker's guard burned one fail
+    /// before dying — so restart specs carry the remaining count.
+    poison: BTreeMap<u64, u32>,
+    pending: Vec<PPending>,
+}
+
+/// Lifecycle state of one shard's worker process.
+enum PSlot {
+    Up(WorkerHandle),
+    Hung { since: u64, w: WorkerHandle },
+    Down { until: u64 },
+    Failed,
+}
+
+/// Drains a worker's stdout on a thread, decoding frames into messages.
+/// Channel disconnect doubles as the death signal.
+fn spawn_reader(
+    mut stdout: ChildStdout,
+) -> (Receiver<Result<Msg, ProcError>>, JoinHandle<()>) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let mut reader = FrameReader::new();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            loop {
+                match reader.next() {
+                    FrameStep::Frame(f) => {
+                        mfp_obs::counter("ipc_frames", &[("dir", "up")]).incr();
+                        match Msg::parse(&f) {
+                            Ok(m) => {
+                                if tx.send(Ok(m)).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(e) => {
+                                let _ = tx.send(Err(e));
+                                return;
+                            }
+                        }
+                    }
+                    FrameStep::Corrupt => {
+                        mfp_obs::counter("ipc_crc_errors", &[]).incr();
+                        let _ = tx.send(Err(ProcError::CorruptFrame));
+                        return;
+                    }
+                    FrameStep::NeedMore => break,
+                }
+            }
+            match stdout.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => reader.push(&chunk[..n]),
+            }
+        }
+    });
+    (rx, handle)
+}
+
+/// Runs one worker process per shard over a canonical output stream,
+/// applying [`ProcConfig`] policy and the injected failures of a
+/// [`ChaosPlan`]. The in-process [`crate::supervise::Supervisor`]'s
+/// control flow, lifted to OS processes: `Kill` becomes a real
+/// `SIGKILL` (plus a torn WAL tail), `Hang` wedges the worker until the
+/// heartbeat deadline kills it, and `Panic`/`Poison` arm the worker's
+/// apply guard over the wire.
+pub struct ProcSupervisor {
+    dir: PathBuf,
+    command: WorkerCommand,
+    shards: usize,
+    platform: Platform,
+    online: OnlineConfig,
+    durable: DurableConfig,
+    problem: ProblemConfig,
+    thresholds: FaultThresholds,
+    model: ModelSpec,
+    catalog: Vec<(DimmId, DimmSpec)>,
+    cfg: ProcConfig,
+}
+
+impl ProcSupervisor {
+    /// Binds a supervisor to an `MFW2` root (created if absent) with
+    /// `shards` worker processes launched via `command`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a root whose meta file disagrees with `shards`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        command: WorkerCommand,
+        shards: usize,
+        platform: Platform,
+        online: OnlineConfig,
+        durable: DurableConfig,
+        problem: ProblemConfig,
+        thresholds: FaultThresholds,
+        model: ModelSpec,
+        catalog: Vec<(DimmId, DimmSpec)>,
+        cfg: ProcConfig,
+    ) -> Result<Self, ProcError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        check_meta(&dir, shards)?;
+        silence_chaos_panics();
+        Ok(ProcSupervisor {
+            dir,
+            command,
+            shards: shards.max(1),
+            platform,
+            online,
+            durable,
+            problem,
+            thresholds,
+            model,
+            catalog,
+            cfg,
+        })
+    }
+
+    /// The spec a freshly spawned worker for shard `s` receives,
+    /// carrying the still-armed slice of the master poison table.
+    fn spec_for(&self, s: usize, ctl: &PCtl) -> WorkerSpec {
+        WorkerSpec {
+            shard: s,
+            dir: shard_dir(&self.dir, s),
+            platform: self.platform,
+            online: self.online,
+            durable: self.durable,
+            problem: self.problem,
+            thresholds: self.thresholds,
+            model: self.model,
+            catalog: self.catalog.clone(),
+            poison: ctl
+                .poison
+                .iter()
+                .filter(|&(_, &f)| f > 0)
+                .map(|(&seq, &f)| (seq, f))
+                .collect(),
+        }
+    }
+
+    /// Sends one frame down a worker's stdin. An `EPIPE` here is the
+    /// worker dying mid-conversation, surfaced as `Err`.
+    fn send(&self, w: &mut WorkerHandle, msg: &Msg) -> Result<(), ProcError> {
+        let bytes = msg.encode()?;
+        w.stdin.write_all(&bytes).map_err(ProcError::Io)?;
+        w.stdin.flush().map_err(ProcError::Io)?;
+        mfp_obs::counter("ipc_frames", &[("dir", "down")]).incr();
+        Ok(())
+    }
+
+    /// Waits for the worker's next message under the ack deadline.
+    fn recv(&self, w: &WorkerHandle) -> RecvOutcome {
+        match w.rx.recv_timeout(Duration::from_millis(self.cfg.ack_timeout_ms)) {
+            Ok(Ok(m)) => RecvOutcome::Msg(m),
+            Ok(Err(_)) => RecvOutcome::Died,
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Died,
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
+        }
+    }
+
+    /// Feeds the worker its routed backlog up to `upto`, one acked
+    /// frame per `cfg.batch` outputs. Ack ⇒ durable, so `w.sent` is
+    /// also the worker's WAL watermark.
+    fn feed_upto(
+        &self,
+        w: &mut WorkerHandle,
+        outs: &[IngestOutput],
+        routed_s: &[usize],
+        upto: usize,
+    ) -> FeedEnd {
+        let chunk = self.cfg.batch.max(1);
+        while (w.sent as usize) < upto {
+            let lo = w.sent as usize;
+            let hi = upto.min(lo + chunk);
+            let pending: Vec<IngestOutput> = routed_s[lo..hi].iter().map(|&g| outs[g]).collect();
+            let records = batch_outputs(&pending, w.sent);
+            if self.send(w, &Msg::Outputs { records }).is_err() {
+                return FeedEnd::Died { hung: false };
+            }
+            w.sent = hi as u64;
+            match self.recv(w) {
+                RecvOutcome::Msg(Msg::Progress { .. }) => {}
+                RecvOutcome::Msg(Msg::Crashed { seq }) => return FeedEnd::Crashed(seq),
+                RecvOutcome::Msg(_) | RecvOutcome::Died => return FeedEnd::Died { hung: false },
+                RecvOutcome::TimedOut => return FeedEnd::Died { hung: true },
+            }
+        }
+        FeedEnd::Clean
+    }
+
+    /// Kills and reaps a worker, counting a `SIGKILL` death if that is
+    /// what its wait status says.
+    fn reap(&self, w: WorkerHandle, report: &mut ProcReport) {
+        let WorkerHandle {
+            mut child,
+            stdin,
+            rx,
+            reader,
+            ..
+        } = w;
+        // Kill before closing stdin: a live worker blocked on the pipe
+        // must die by signal, not slip out through EOF first — the
+        // SIGKILL count is part of the deterministic report.
+        let _ = child.kill();
+        drop(stdin);
+        if let Ok(status) = child.wait() {
+            #[cfg(unix)]
+            {
+                use std::os::unix::process::ExitStatusExt;
+                if status.signal() == Some(9) {
+                    report.sigkills += 1;
+                }
+            }
+            #[cfg(not(unix))]
+            let _ = &status;
+        }
+        drop(rx);
+        if let Some(h) = reader {
+            let _ = h.join();
+        }
+    }
+
+    /// Reaps a worker that announced its own exit (it sent `Crashed`
+    /// and is already on its way out): plain wait, no kill, so the
+    /// voluntary exit status is captured and the `SIGKILL` counter
+    /// stays deterministic instead of racing the worker's `exit(0)`.
+    fn reap_exited(&self, w: WorkerHandle) {
+        let WorkerHandle {
+            mut child,
+            stdin,
+            rx,
+            reader,
+            ..
+        } = w;
+        drop(stdin);
+        let _ = child.wait();
+        drop(rx);
+        if let Some(h) = reader {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful shutdown of a live worker: `Exit`, close the pipe, and
+    /// wait — no kill, so no spurious `SIGKILL` in the report.
+    fn shutdown(&self, mut w: WorkerHandle) {
+        let _ = self.send(&mut w, &Msg::Exit);
+        let WorkerHandle {
+            mut child,
+            stdin,
+            rx,
+            reader,
+            ..
+        } = w;
+        drop(stdin);
+        let _ = child.wait();
+        drop(rx);
+        if let Some(h) = reader {
+            let _ = h.join();
+        }
+    }
+
+    /// Books one restart against the shard's budget.
+    fn schedule_restart(
+        &self,
+        s: usize,
+        now: u64,
+        ctl: &mut PCtl,
+        report: &mut ProcReport,
+    ) -> PSlot {
+        ctl.restarts += 1;
+        report.restarts += 1;
+        if ctl.restarts > self.cfg.max_restarts {
+            if !report.failed_shards.contains(&s) {
+                report.failed_shards.push(s);
+            }
+            PSlot::Failed
+        } else {
+            PSlot::Down {
+                until: now + bounded_backoff(self.cfg.backoff_base, self.cfg.backoff_cap, ctl.restarts),
+            }
+        }
+    }
+
+    /// Accounts one reported crash at per-shard `seq`: crash counter,
+    /// quarantine at the threshold, master-poison decrement, restart.
+    #[allow(clippy::too_many_arguments)]
+    fn crash_slot(
+        &self,
+        s: usize,
+        seq: u64,
+        now: u64,
+        outs: &[IngestOutput],
+        routed_s: &[usize],
+        ctl: &mut PCtl,
+        report: &mut ProcReport,
+    ) -> Result<PSlot, ProcError> {
+        report.panics_caught += 1;
+        let count = ctl.crash_counts.entry(seq).or_insert(0);
+        *count += 1;
+        if *count >= self.cfg.quarantine_after {
+            if let Some(&gidx) = routed_s.get(seq as usize) {
+                quarantine_output(&shard_dir(&self.dir, s), seq, &outs[gidx])?;
+                report.quarantined.push((s, seq));
+                report.quarantined_outputs.push(gidx as u64);
+            }
+        }
+        // The worker's guard burned one fail before this crash; mirror
+        // it so the next Init carries the remaining count.
+        if let Some(f) = ctl.poison.get_mut(&seq) {
+            if *f > 0 && *f != u32::MAX {
+                *f -= 1;
+            }
+        }
+        Ok(self.schedule_restart(s, now, ctl, report))
+    }
+
+    /// Spawns, initializes, and catches up a worker for shard `s`. Any
+    /// mid-handshake death books a restart instead of erroring: only
+    /// spawn itself failing is a real error.
+    #[allow(clippy::too_many_arguments)]
+    fn start_shard(
+        &self,
+        s: usize,
+        now: u64,
+        outs: &[IngestOutput],
+        routed_s: &[usize],
+        ctl: &mut PCtl,
+        report: &mut ProcReport,
+    ) -> Result<PSlot, ProcError> {
+        let mut child = self.command.spawn()?;
+        report.spawns += 1;
+        let stdin = child
+            .stdin
+            .take()
+            .ok_or(ProcError::Protocol("spawned worker without piped stdin"))?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or(ProcError::Protocol("spawned worker without piped stdout"))?;
+        let (rx, reader) = spawn_reader(stdout);
+        let mut w = WorkerHandle {
+            child,
+            stdin,
+            rx,
+            reader: Some(reader),
+            sent: 0,
+        };
+        let init = w
+            .stdin
+            .write_all(&stream_header())
+            .map_err(ProcError::Io)
+            .and_then(|()| self.send(&mut w, &Msg::Init(self.spec_for(s, ctl))));
+        if init.is_err() {
+            self.reap(w, report);
+            return Ok(self.schedule_restart(s, now, ctl, report));
+        }
+        match self.recv(&w) {
+            RecvOutcome::Msg(Msg::Hello { fed, replayed, .. }) => {
+                report.replayed_outputs += replayed;
+                w.sent = fed.min(routed_s.len() as u64);
+                match self.feed_upto(&mut w, outs, routed_s, routed_s.len()) {
+                    FeedEnd::Clean => Ok(PSlot::Up(w)),
+                    FeedEnd::Crashed(seq) => {
+                        self.reap_exited(w);
+                        self.crash_slot(s, seq, now, outs, routed_s, ctl, report)
+                    }
+                    FeedEnd::Died { hung } => {
+                        if hung {
+                            report.heartbeat_misses += 1;
+                        }
+                        self.reap(w, report);
+                        Ok(self.schedule_restart(s, now, ctl, report))
+                    }
+                }
+            }
+            RecvOutcome::Msg(Msg::Crashed { seq }) => {
+                self.reap_exited(w);
+                self.crash_slot(s, seq, now, outs, routed_s, ctl, report)
+            }
+            RecvOutcome::Msg(_) | RecvOutcome::Died => {
+                self.reap(w, report);
+                Ok(self.schedule_restart(s, now, ctl, report))
+            }
+            RecvOutcome::TimedOut => {
+                report.heartbeat_misses += 1;
+                self.reap(w, report);
+                Ok(self.schedule_restart(s, now, ctl, report))
+            }
+        }
+    }
+
+    /// One logical-time step: kill hung workers whose heartbeat expired
+    /// and restart workers whose backoff elapsed.
+    #[allow(clippy::too_many_arguments)]
+    fn step_timers(
+        &self,
+        now: u64,
+        outs: &[IngestOutput],
+        routed: &[Vec<usize>],
+        slots: &mut [PSlot],
+        ctl: &mut [PCtl],
+        report: &mut ProcReport,
+    ) -> Result<(), ProcError> {
+        for s in 0..slots.len() {
+            let slot = std::mem::replace(&mut slots[s], PSlot::Failed);
+            slots[s] = match slot {
+                PSlot::Hung { since, w } => {
+                    if now.saturating_sub(since) >= self.cfg.heartbeat_timeout {
+                        report.hangs_detected += 1;
+                        report.heartbeat_misses += 1;
+                        self.reap(w, report);
+                        self.schedule_restart(s, now, &mut ctl[s], report)
+                    } else {
+                        PSlot::Hung { since, w }
+                    }
+                }
+                PSlot::Down { until } if now >= until => {
+                    self.start_shard(s, now, outs, &routed[s], &mut ctl[s], report)?
+                }
+                other => other,
+            };
+        }
+        Ok(())
+    }
+
+    /// Feeds the canonical output stream through the worker fleet under
+    /// the injected failure schedule, drains every restart, finishes
+    /// prediction up to `end`, and merges live shards' reports.
+    ///
+    /// The identity contract matches
+    /// [`crate::supervise::Supervisor::run`]: transient schedules are
+    /// bit-identical to the uncrashed oracle; permanent poisons to the
+    /// oracle minus [`ProcReport::quarantined_outputs`]; failed shards
+    /// to the oracle restricted to live shards' DIMMs.
+    ///
+    /// # Errors
+    ///
+    /// Real spawn/WAL/quarantine failures only — injected failures are
+    /// absorbed by the supervision policy.
+    pub fn run(
+        &self,
+        outs: &[IngestOutput],
+        end: SimTime,
+        plan: &ChaosPlan,
+    ) -> Result<ProcOutcome, ProcError> {
+        let n = self.shards;
+        let mut report = ProcReport::default();
+        let mut routed: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut ctl: Vec<PCtl> = (0..n).map(|_| PCtl::default()).collect();
+        let mut slots: Vec<PSlot> = Vec::with_capacity(n);
+        for s in 0..n {
+            let slot = self.start_shard(s, 0, outs, &routed[s], &mut ctl[s], &mut report)?;
+            slots.push(slot);
+        }
+
+        let mut ev_i = 0usize;
+        for (i, out) in outs.iter().enumerate() {
+            let now = i as u64;
+            self.step_timers(now, outs, &routed, &mut slots, &mut ctl, &mut report)?;
+
+            while ev_i < plan.events.len() && plan.events[ev_i].at_output <= now {
+                let ev = plan.events[ev_i];
+                ev_i += 1;
+                if ev.shard >= n || ev.at_output < now {
+                    continue;
+                }
+                match ev.kind {
+                    ChaosKind::Kill { torn_bytes } => {
+                        match std::mem::replace(&mut slots[ev.shard], PSlot::Failed) {
+                            PSlot::Up(w) | PSlot::Hung { w, .. } => {
+                                self.reap(w, &mut report);
+                                report.kills_injected += 1;
+                                tear_wal_tail(&shard_dir(&self.dir, ev.shard), torn_bytes)?;
+                                slots[ev.shard] = self.schedule_restart(
+                                    ev.shard,
+                                    now,
+                                    &mut ctl[ev.shard],
+                                    &mut report,
+                                );
+                            }
+                            other => slots[ev.shard] = other,
+                        }
+                    }
+                    ChaosKind::Hang => {
+                        match std::mem::replace(&mut slots[ev.shard], PSlot::Failed) {
+                            PSlot::Up(mut w) => {
+                                slots[ev.shard] = if self.send(&mut w, &Msg::Hang).is_ok() {
+                                    PSlot::Hung { since: now, w }
+                                } else {
+                                    self.reap(w, &mut report);
+                                    self.schedule_restart(
+                                        ev.shard,
+                                        now,
+                                        &mut ctl[ev.shard],
+                                        &mut report,
+                                    )
+                                };
+                            }
+                            other => slots[ev.shard] = other,
+                        }
+                    }
+                    ChaosKind::Panic { fails } => {
+                        ctl[ev.shard].pending.push(PPending::Transient(fails));
+                    }
+                    ChaosKind::Poison => ctl[ev.shard].pending.push(PPending::Permanent),
+                }
+            }
+
+            // Route; bind pending poison to its per-shard sequence and
+            // push the updated count to a live worker.
+            let s = shard_route(out, n);
+            let seq = routed[s].len() as u64;
+            if !ctl[s].pending.is_empty() {
+                let pending = std::mem::take(&mut ctl[s].pending);
+                let e = ctl[s].poison.entry(seq).or_insert(0);
+                for p in pending {
+                    match p {
+                        PPending::Transient(fails) => {
+                            if *e != u32::MAX {
+                                *e = (*e + fails).min(self.cfg.quarantine_after.saturating_sub(1));
+                            }
+                        }
+                        PPending::Permanent => *e = u32::MAX,
+                    }
+                }
+                let fails = *e;
+                if let PSlot::Up(_) = slots[s] {
+                    let slot = std::mem::replace(&mut slots[s], PSlot::Failed);
+                    slots[s] = match slot {
+                        PSlot::Up(mut w) => {
+                            if self.send(&mut w, &Msg::Poison { seq, fails }).is_ok() {
+                                PSlot::Up(w)
+                            } else {
+                                self.reap(w, &mut report);
+                                self.schedule_restart(s, now, &mut ctl[s], &mut report)
+                            }
+                        }
+                        other => other,
+                    };
+                }
+            }
+            routed[s].push(i);
+
+            // Feed at batch boundaries; the remainder drains at the end.
+            let backlog_end = routed[s].len();
+            let due = match &slots[s] {
+                PSlot::Up(w) => backlog_end - (w.sent as usize) >= self.cfg.batch.max(1),
+                _ => false,
+            };
+            if due {
+                let slot = std::mem::replace(&mut slots[s], PSlot::Failed);
+                slots[s] = match slot {
+                    PSlot::Up(mut w) => {
+                        match self.feed_upto(&mut w, outs, &routed[s], backlog_end) {
+                            FeedEnd::Clean => PSlot::Up(w),
+                            FeedEnd::Crashed(cseq) => {
+                                self.reap_exited(w);
+                                self.crash_slot(
+                                    s,
+                                    cseq,
+                                    now,
+                                    outs,
+                                    &routed[s],
+                                    &mut ctl[s],
+                                    &mut report,
+                                )?
+                            }
+                            FeedEnd::Died { hung } => {
+                                if hung {
+                                    report.heartbeat_misses += 1;
+                                }
+                                self.reap(w, &mut report);
+                                self.schedule_restart(s, now, &mut ctl[s], &mut report)
+                            }
+                        }
+                    }
+                    other => other,
+                };
+            }
+        }
+
+        // Drain: expire hangs and backoffs, feed remainders, run the
+        // final prediction ticks, and collect reports — re-entering if
+        // a finish crashes a worker.
+        let mut now = outs.len() as u64;
+        let mut results: Vec<Option<(Vec<Alarm>, Vec<ScoreRecord>, u64)>> = vec![None; n];
+        loop {
+            while slots
+                .iter()
+                .any(|sl| matches!(sl, PSlot::Hung { .. } | PSlot::Down { .. }))
+            {
+                self.step_timers(now, outs, &routed, &mut slots, &mut ctl, &mut report)?;
+                now += 1;
+            }
+            let mut any_crash = false;
+            for s in 0..n {
+                let slot = std::mem::replace(&mut slots[s], PSlot::Failed);
+                slots[s] = match slot {
+                    PSlot::Up(mut w) => {
+                        match self.feed_upto(&mut w, outs, &routed[s], routed[s].len()) {
+                            FeedEnd::Clean => {
+                                if self.send(&mut w, &Msg::Finish { until: end }).is_err() {
+                                    results[s] = None;
+                                    any_crash = true;
+                                    self.reap(w, &mut report);
+                                    self.schedule_restart(s, now, &mut ctl[s], &mut report)
+                                } else {
+                                    match self.recv(&w) {
+                                        RecvOutcome::Msg(Msg::Report {
+                                            alarms,
+                                            scores,
+                                            scored,
+                                        }) => {
+                                            results[s] = Some((alarms, scores, scored));
+                                            PSlot::Up(w)
+                                        }
+                                        RecvOutcome::Msg(Msg::Crashed { seq }) => {
+                                            results[s] = None;
+                                            any_crash = true;
+                                            self.reap_exited(w);
+                                            self.crash_slot(
+                                                s,
+                                                seq,
+                                                now,
+                                                outs,
+                                                &routed[s],
+                                                &mut ctl[s],
+                                                &mut report,
+                                            )?
+                                        }
+                                        RecvOutcome::Msg(_) | RecvOutcome::Died => {
+                                            results[s] = None;
+                                            any_crash = true;
+                                            self.reap(w, &mut report);
+                                            self.schedule_restart(
+                                                s,
+                                                now,
+                                                &mut ctl[s],
+                                                &mut report,
+                                            )
+                                        }
+                                        RecvOutcome::TimedOut => {
+                                            results[s] = None;
+                                            any_crash = true;
+                                            report.heartbeat_misses += 1;
+                                            self.reap(w, &mut report);
+                                            self.schedule_restart(
+                                                s,
+                                                now,
+                                                &mut ctl[s],
+                                                &mut report,
+                                            )
+                                        }
+                                    }
+                                }
+                            }
+                            FeedEnd::Crashed(cseq) => {
+                                results[s] = None;
+                                any_crash = true;
+                                self.reap_exited(w);
+                                self.crash_slot(
+                                    s,
+                                    cseq,
+                                    now,
+                                    outs,
+                                    &routed[s],
+                                    &mut ctl[s],
+                                    &mut report,
+                                )?
+                            }
+                            FeedEnd::Died { hung } => {
+                                results[s] = None;
+                                any_crash = true;
+                                if hung {
+                                    report.heartbeat_misses += 1;
+                                }
+                                self.reap(w, &mut report);
+                                self.schedule_restart(s, now, &mut ctl[s], &mut report)
+                            }
+                        }
+                    }
+                    other => other,
+                };
+            }
+            if !any_crash
+                && !slots
+                    .iter()
+                    .any(|sl| matches!(sl, PSlot::Hung { .. } | PSlot::Down { .. }))
+            {
+                break;
+            }
+            now += 1;
+        }
+
+        let mut alarms: Vec<Alarm> = Vec::new();
+        let mut scores: Vec<ScoreRecord> = Vec::new();
+        let mut scored = 0u64;
+        let mut live_shards = 0usize;
+        for (s, sl) in slots.iter().enumerate() {
+            if let PSlot::Up(_) = sl {
+                live_shards += 1;
+                if let Some((a, sc, n_scored)) = &results[s] {
+                    alarms.extend_from_slice(a);
+                    scores.extend_from_slice(sc);
+                    scored += n_scored;
+                }
+            }
+        }
+        alarms.sort_by_key(|a| (a.time, a.dimm));
+        scores.sort_by_key(|r| (r.time, r.dimm));
+
+        for sl in slots {
+            if let PSlot::Up(w) = sl {
+                self.shutdown(w);
+            }
+        }
+
+        mfp_obs::counter("proc_restarts", &[]).add(report.restarts);
+        mfp_obs::counter("proc_sigkills", &[]).add(report.sigkills);
+        mfp_obs::counter("proc_heartbeat_misses", &[]).add(report.heartbeat_misses);
+        mfp_obs::gauge("proc_live_shards", &[]).set(live_shards as f64);
+
+        Ok(ProcOutcome {
+            alarms,
+            scores,
+            scored,
+            live_shards,
+            shards: n,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::GapRecord;
+    use crate::online::OnlinePredictor;
+    use crate::supervise::ChaosEvent;
+    use mfp_dram::address::CellAddr;
+    use mfp_dram::bus::ErrorTransfer;
+    use mfp_dram::event::{CeEvent, MemEvent};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Worker-mode trampoline: when spawned by [`WorkerCommand::
+    /// test_harness`] with `MFP_SHARD_WORKER` set, this "test" never
+    /// returns — it becomes the shard worker and exits with its code.
+    /// Run normally, it is a no-op pass.
+    #[test]
+    fn ipc_worker_entry() {
+        if std::env::var_os(WORKER_ENV).is_some() {
+            std::process::exit(shard_worker_main());
+        }
+    }
+
+    /// A unique scratch directory per test invocation (parallel-safe).
+    fn test_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "mfp_proc_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("create scratch dir");
+        d
+    }
+
+    fn risky_ce(t: u64, dimm: DimmId, flip: bool) -> MemEvent {
+        let bits: Vec<(u8, u8)> = if flip {
+            vec![(1, 20), (5, 21)]
+        } else {
+            vec![(1, 20)]
+        };
+        MemEvent::Ce(CeEvent {
+            time: SimTime::from_secs(t),
+            dimm,
+            addr: CellAddr::new(0, 0, (t / 1000) as u32 % 100, 1),
+            transfer: ErrorTransfer::from_bits(bits),
+        })
+    }
+
+    fn catalog() -> Vec<(DimmId, DimmSpec)> {
+        (0..8u32)
+            .map(|k| (DimmId::new(k, (k % 2) as u8), DimmSpec::default()))
+            .collect()
+    }
+
+    /// A canonical ingest-output stream: time-ordered released events
+    /// (half the fleet risky) with two collection gaps in the middle.
+    fn outputs(cat: &[(DimmId, DimmSpec)]) -> Vec<IngestOutput> {
+        let dimms: Vec<DimmId> = cat.iter().map(|(id, _)| *id).collect();
+        let mut out: Vec<IngestOutput> = (0..20 * dimms.len() as u64)
+            .map(|k| {
+                let d = dimms[(k % dimms.len() as u64) as usize];
+                IngestOutput::Released(risky_ce(1_000 + k * 1_800, d, d.server.0 % 2 == 0))
+            })
+            .collect();
+        out.insert(
+            40,
+            IngestOutput::Gap(GapRecord {
+                dimm: dimms[0],
+                from: SimTime::from_secs(50_000),
+                to: SimTime::from_secs(90_000),
+            }),
+        );
+        out.insert(
+            90,
+            IngestOutput::Gap(GapRecord {
+                dimm: dimms[3],
+                from: SimTime::from_secs(120_000),
+                to: SimTime::from_secs(170_000),
+            }),
+        );
+        out
+    }
+
+    fn oracle(
+        cat: &[(DimmId, DimmSpec)],
+        outs: &[IngestOutput],
+        end: SimTime,
+    ) -> (Vec<Alarm>, Vec<ScoreRecord>, u64) {
+        let lake = DataLake::new();
+        for (id, spec) in cat {
+            lake.register_dimm(*id, Platform::IntelPurley, *spec);
+        }
+        let registry = ModelRegistry::new();
+        let eval = Evaluation::from_confusion(
+            Confusion {
+                tp: 1,
+                fp: 0,
+                fn_: 0,
+                tn: 1,
+            },
+            0.5,
+        );
+        let mid = registry.register(
+            Algorithm::RiskyCePattern,
+            Platform::IntelPurley,
+            SimTime::ZERO,
+            eval,
+            0.5,
+            Model::RiskyCe(RiskyCePattern::default()),
+        );
+        registry.promote(mid);
+        let store = FeatureStore::new(ProblemConfig::default(), FaultThresholds::default());
+        let mut p = OnlinePredictor::new(
+            &lake,
+            &store,
+            &registry,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+        );
+        p.set_score_trace(true);
+        for out in outs {
+            p.apply(out);
+        }
+        p.finish(end);
+        (p.alarms().to_vec(), p.score_trace().to_vec(), p.scored())
+    }
+
+    fn traced() -> DurableConfig {
+        DurableConfig {
+            batch: 4,
+            compact_every: u64::MAX,
+            record_scores: true,
+            ..DurableConfig::default()
+        }
+    }
+
+    fn proc_sup(dir: &Path, shards: usize, cfg: ProcConfig) -> ProcSupervisor {
+        ProcSupervisor::new(
+            dir,
+            WorkerCommand::test_harness("ipc_worker_entry").expect("resolve test harness"),
+            shards,
+            Platform::IntelPurley,
+            OnlineConfig::default(),
+            traced(),
+            ProblemConfig::default(),
+            FaultThresholds::default(),
+            ModelSpec::default_risky_ce(),
+            catalog(),
+            cfg,
+        )
+        .expect("open proc supervisor")
+    }
+
+    const END: SimTime = SimTime::from_secs(40 * 86_400);
+
+    #[test]
+    fn frames_roundtrip_and_scan_is_a_prefix_decoder() {
+        let frames = [
+            RawFrame {
+                kind: K_HANG,
+                seq: 0,
+                payload: Vec::new(),
+            },
+            RawFrame {
+                kind: K_PROGRESS,
+                seq: 7,
+                payload: 42u64.to_be_bytes().to_vec(),
+            },
+            RawFrame {
+                kind: K_OUTPUTS,
+                seq: u64::MAX,
+                payload: vec![0xAB; 300],
+            },
+        ];
+        let mut stream: Vec<u8> = stream_header().to_vec();
+        for f in &frames {
+            let enc = encode_frame(f.kind, f.seq, &f.payload);
+            assert_eq!(decode_frame(&enc).as_ref(), Some(f));
+            stream.extend_from_slice(&enc);
+        }
+        let scan = scan_frames(&stream).unwrap();
+        assert_eq!(scan.frames, frames);
+        assert_eq!(scan.valid_bytes, stream.len() as u64);
+        assert_eq!(scan.torn_bytes, 0);
+
+        // Every truncation decodes a strict prefix; a torn final frame
+        // is torn bytes, never a misparse.
+        for cut in 0..stream.len() {
+            match scan_frames(&stream[..cut]) {
+                Ok(s) => {
+                    assert!(s.frames.len() <= frames.len());
+                    assert_eq!(s.frames[..], frames[..s.frames.len()]);
+                    assert_eq!(s.valid_bytes + s.torn_bytes, cut as u64);
+                }
+                Err(ProcError::BadHeader) => {
+                    assert!(cut < stream_header().len() || stream[..cut] == stream[..cut]);
+                }
+                Err(e) => panic!("unexpected scan error at cut {cut}: {e}"),
+            }
+        }
+
+        // A bit flip is confined: frames before the flipped byte still
+        // decode, nothing after it is misparsed as valid.
+        for pos in stream_header().len()..stream.len() {
+            let mut bad = stream.clone();
+            bad[pos] ^= 0x40;
+            let s = scan_frames(&bad).unwrap();
+            assert!(s.frames.len() < frames.len(), "flip at {pos} undetected");
+            assert_eq!(s.frames[..], frames[..s.frames.len()]);
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_driblets_and_harness_banners() {
+        let msgs = [
+            Msg::Hang,
+            Msg::Progress {
+                consumed: 12,
+                durable: 12,
+            },
+            Msg::Crashed { seq: 3 },
+        ];
+        let mut stream: Vec<u8> = b"running 1 test\nMF".to_vec();
+        stream.extend_from_slice(&stream_header());
+        for m in &msgs {
+            stream.extend_from_slice(&m.encode().unwrap());
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for b in stream {
+            reader.push(&[b]);
+            loop {
+                match reader.next() {
+                    FrameStep::Frame(f) => got.push(Msg::parse(&f).unwrap()),
+                    FrameStep::NeedMore => break,
+                    FrameStep::Corrupt => panic!("clean stream misread as corrupt"),
+                }
+            }
+        }
+        assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn insane_frame_lengths_are_corruption_not_allocations() {
+        let mut reader = FrameReader::new();
+        reader.push(&stream_header());
+        let mut frame = encode_frame(K_HANG, 0, &[]);
+        frame[9..13].copy_from_slice(&u32::MAX.to_be_bytes());
+        reader.push(&frame);
+        assert!(matches!(reader.next(), FrameStep::Corrupt));
+    }
+
+    #[test]
+    fn worker_spec_and_messages_roundtrip() {
+        let spec = WorkerSpec {
+            shard: 3,
+            dir: PathBuf::from("/tmp/mfp-proc/shard-3"),
+            platform: Platform::K920,
+            online: OnlineConfig::default(),
+            durable: traced(),
+            problem: ProblemConfig::default(),
+            thresholds: FaultThresholds::default(),
+            model: ModelSpec::RiskyCe {
+                params: RiskyCeParams {
+                    min_complex: 2.5,
+                    require_interval4: false,
+                    min_rows: 1.5,
+                },
+                threshold: 0.75,
+            },
+            catalog: catalog(),
+            poison: vec![(9, 2), (44, u32::MAX)],
+        };
+        let outs = outputs(&catalog());
+        let records = batch_outputs(&outs[..7], 11);
+        let msgs = [
+            Msg::Init(spec),
+            Msg::Outputs { records },
+            Msg::Poison {
+                seq: 5,
+                fails: u32::MAX,
+            },
+            Msg::Hang,
+            Msg::Finish { until: END },
+            Msg::Exit,
+            Msg::Hello {
+                fed: 31,
+                replayed: 9,
+                quarantined: 1,
+            },
+            Msg::Progress {
+                consumed: 40,
+                durable: 44,
+            },
+            Msg::Crashed { seq: 17 },
+            Msg::Report {
+                alarms: vec![Alarm {
+                    dimm: DimmId::new(2, 1),
+                    time: SimTime::from_secs(9_000),
+                    score: 0.875,
+                }],
+                scores: vec![ScoreRecord {
+                    time: SimTime::from_secs(8_000),
+                    dimm: DimmId::new(4, 0),
+                    score: 0.25,
+                }],
+                scored: 123,
+            },
+        ];
+        for m in &msgs {
+            let enc = m.encode().unwrap();
+            let frame = decode_frame(&enc).expect("frame decodes");
+            assert_eq!(&Msg::parse(&frame).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn clean_process_run_matches_the_sequential_oracle() {
+        for shards in [1usize, 2] {
+            let cat = catalog();
+            let outs = outputs(&cat);
+            let (ref_alarms, ref_scores, ref_scored) = oracle(&cat, &outs, END);
+            assert!(!ref_alarms.is_empty(), "oracle must alarm to bite");
+
+            let dir = test_dir("clean");
+            let sup = proc_sup(&dir, shards, ProcConfig::default());
+            let out = sup.run(&outs, END, &ChaosPlan::none()).unwrap();
+            assert_eq!(out.alarms, ref_alarms, "{shards} shards: alarms");
+            assert_eq!(out.scores, ref_scores, "{shards} shards: scores");
+            assert_eq!(out.scored, ref_scored, "{shards} shards: scored");
+            assert_eq!(out.live_shards, shards);
+            assert_eq!(out.report.restarts, 0);
+            assert_eq!(out.report.sigkills, 0);
+            assert_eq!(out.report.spawns, shards as u64);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn seeded_process_chaos_recovers_bit_identically() {
+        let cat = catalog();
+        let outs = outputs(&cat);
+        let (ref_alarms, ref_scores, ref_scored) = oracle(&cat, &outs, END);
+
+        for shards in [2usize, 4] {
+            for seed in [7u64, 21] {
+                let plan = ChaosPlan::seeded(seed, shards, outs.len(), 6, 2);
+                let dir = test_dir("seeded");
+                let sup = proc_sup(&dir, shards, ProcConfig::default());
+                let out = sup.run(&outs, END, &plan).unwrap();
+                assert_eq!(out.alarms, ref_alarms, "shards={shards} seed={seed}");
+                assert_eq!(out.scores, ref_scores, "shards={shards} seed={seed}");
+                assert_eq!(out.scored, ref_scored, "shards={shards} seed={seed}");
+                assert_eq!(out.live_shards, shards);
+                assert!(out.report.quarantined.is_empty(), "seeded plans are transient");
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+
+    #[test]
+    fn sigkill_and_hang_recover_and_are_counted() {
+        let cat = catalog();
+        let outs = outputs(&cat);
+        let (ref_alarms, ref_scores, ref_scored) = oracle(&cat, &outs, END);
+
+        let plan = ChaosPlan {
+            events: vec![
+                ChaosEvent {
+                    at_output: 30,
+                    shard: 0,
+                    kind: ChaosKind::Kill { torn_bytes: 13 },
+                },
+                ChaosEvent {
+                    at_output: 75,
+                    shard: 1,
+                    kind: ChaosKind::Hang,
+                },
+                ChaosEvent {
+                    at_output: 120,
+                    shard: 0,
+                    kind: ChaosKind::Panic { fails: 2 },
+                },
+            ],
+        };
+        let dir = test_dir("killhang");
+        let sup = proc_sup(&dir, 2, ProcConfig::default());
+        let out = sup.run(&outs, END, &plan).unwrap();
+        assert_eq!(out.report.kills_injected, 1, "{:?}", out.report);
+        assert!(out.report.sigkills >= 2, "kill + hung reap: {:?}", out.report);
+        assert_eq!(out.report.hangs_detected, 1, "{:?}", out.report);
+        assert!(out.report.heartbeat_misses >= 1, "{:?}", out.report);
+        assert!(out.report.panics_caught >= 1, "{:?}", out.report);
+        assert!(out.report.restarts >= 3, "{:?}", out.report);
+        assert!(out.report.replayed_outputs > 0, "{:?}", out.report);
+        assert_eq!(out.alarms, ref_alarms);
+        assert_eq!(out.scores, ref_scores);
+        assert_eq!(out.scored, ref_scored);
+        assert_eq!(out.live_shards, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn permanent_poison_is_quarantined_across_process_restarts() {
+        let cat = catalog();
+        let outs = outputs(&cat);
+        let target = 50usize;
+        let poisoned_shard = shard_route(&outs[target], 2);
+        let filtered: Vec<IngestOutput> = outs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != target)
+            .map(|(_, o)| *o)
+            .collect();
+        let (ref_alarms, ref_scores, ref_scored) = oracle(&cat, &filtered, END);
+
+        // The poison binds to the first output routed to the shard at
+        // or after the event tick — outs[target] itself.
+        let plan = ChaosPlan {
+            events: vec![ChaosEvent {
+                at_output: target as u64,
+                shard: poisoned_shard,
+                kind: ChaosKind::Poison,
+            }],
+        };
+        let dir = test_dir("poison");
+        let cfg = ProcConfig::default();
+        let sup = proc_sup(&dir, 2, cfg);
+        let out = sup.run(&outs, END, &plan).unwrap();
+        assert_eq!(out.report.quarantined_outputs, vec![target as u64]);
+        assert_eq!(out.report.quarantined.len(), 1);
+        assert_eq!(out.report.quarantined[0].0, poisoned_shard);
+        assert_eq!(out.report.panics_caught, cfg.quarantine_after as u64);
+        assert_eq!(out.alarms, ref_alarms);
+        assert_eq!(out.scores, ref_scores);
+        assert_eq!(out.scored, ref_scored);
+        assert_eq!(out.live_shards, 2);
+
+        // A fresh run over the same root reads the side log back: the
+        // quarantined output never crashes anything again.
+        let sup2 = proc_sup(&dir, 2, cfg);
+        let out2 = sup2.run(&outs, END, &ChaosPlan::none()).unwrap();
+        assert_eq!(out2.report.restarts, 0, "{:?}", out2.report);
+        assert_eq!(out2.alarms, ref_alarms);
+        assert_eq!(out2.scored, ref_scored);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_restart_budget_degrades_to_live_shards() {
+        let cat = catalog();
+        let outs = outputs(&cat);
+        let target = 50usize;
+        let poisoned_shard = shard_route(&outs[target], 2);
+        let live: Vec<IngestOutput> = outs
+            .iter()
+            .filter(|o| shard_route(o, 2) != poisoned_shard)
+            .copied()
+            .collect();
+        let (ref_alarms, ref_scores, ref_scored) = oracle(&cat, &live, END);
+
+        let plan = ChaosPlan {
+            events: vec![ChaosEvent {
+                at_output: target as u64,
+                shard: poisoned_shard,
+                kind: ChaosKind::Poison,
+            }],
+        };
+        let dir = test_dir("budget");
+        let cfg = ProcConfig {
+            max_restarts: 2,
+            quarantine_after: 100,
+            ..ProcConfig::default()
+        };
+        let sup = proc_sup(&dir, 2, cfg);
+        let out = sup.run(&outs, END, &plan).unwrap();
+        assert_eq!(out.report.failed_shards, vec![poisoned_shard]);
+        assert_eq!(out.live_shards, 1);
+        assert_eq!(out.alarms, ref_alarms, "degraded merge == live-shard oracle");
+        assert_eq!(out.scores, ref_scores);
+        assert_eq!(out.scored, ref_scored);
+
+        // Degraded-mode routing: the failed shard's DIMMs answer
+        // ShardUnavailable, live DIMMs answer Ok.
+        let mut saw_failed = false;
+        let mut saw_live = false;
+        for (id, _) in &cat {
+            match out.dimm_status(*id) {
+                Err(ServeError::ShardUnavailable { shard }) => {
+                    assert_eq!(shard, poisoned_shard);
+                    saw_failed = true;
+                }
+                Ok(()) => saw_live = true,
+                Err(e) => panic!("unexpected routing error: {e}"),
+            }
+        }
+        assert!(saw_failed && saw_live, "catalog spans both shards");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_seed_twice_is_bit_identical_including_the_report() {
+        let cat = catalog();
+        let outs = outputs(&cat);
+        let mut reports = Vec::new();
+        let mut merged = Vec::new();
+        for _ in 0..2 {
+            let plan = ChaosPlan::seeded(99, 2, outs.len(), 5, 2);
+            let dir = test_dir("replay");
+            let sup = proc_sup(&dir, 2, ProcConfig::default());
+            let out = sup.run(&outs, END, &plan).unwrap();
+            reports.push(out.report.clone());
+            merged.push((out.alarms, out.scores, out.scored));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        assert_eq!(reports[0], reports[1], "supervision is deterministic");
+        assert_eq!(merged[0], merged[1]);
+    }
+}

@@ -291,6 +291,14 @@ pub enum ServeError {
         /// The shard without a snapshot.
         shard: usize,
     },
+    /// The shard owning a DIMM exhausted its restart budget and is out
+    /// of the merge: its DIMMs degrade to this error instead of wedging
+    /// or silently vanishing from fleet-wide results (see
+    /// `crate::procserve::ProcOutcome::dimm_status`).
+    ShardUnavailable {
+        /// The failed shard.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -302,6 +310,9 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::MissingCapture { shard } => {
                 write!(f, "shard {shard} produced no checkpoint during capture")
+            }
+            ServeError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is past its restart budget and unavailable")
             }
         }
     }

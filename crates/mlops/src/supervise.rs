@@ -68,7 +68,7 @@ pub const CHAOS_PANIC: &str = "chaos-injected panic";
 
 /// Installs (once per process) a panic hook that swallows chaos-injected
 /// panics and forwards everything else to the previous hook.
-fn silence_chaos_panics() {
+pub(crate) fn silence_chaos_panics() {
     static INSTALL: Once = Once::new();
     INSTALL.call_once(|| {
         let prev = std::panic::take_hook();
@@ -296,7 +296,7 @@ enum Slot<'a> {
 /// The guarded apply: consult the armed-poison table, then run the real
 /// apply under `catch_unwind`. Decrements transient poisons so each
 /// retry makes progress; permanent poisons (`u32::MAX`) never decrement.
-fn poison_guard<'g, 'a>(
+pub(crate) fn poison_guard<'g, 'a>(
     poison: &'g mut BTreeMap<u64, u32>,
 ) -> impl FnMut(&mut OnlinePredictor<'a>, &IngestOutput, u64) -> ApplyVerdict + 'g {
     move |predictor: &mut OnlinePredictor<'a>, out: &IngestOutput, seq: u64| {
@@ -322,11 +322,31 @@ fn poison_guard<'g, 'a>(
     }
 }
 
+/// The `n`-th restart's exponential backoff delay: `base << (n - 1)`,
+/// saturating instead of wrapping, clamped to `[1, cap]`.
+///
+/// The exponent is bounded *before* shifting: `checked_shl` only guards
+/// against shifts ≥ 64, so `base << 63` for any base with more than one
+/// set bit used to wrap the delay toward zero once a shard's restart
+/// count grew pathologically large. Saturating at `u64::MAX` keeps the
+/// delay monotonic in `n` so `min(cap)` always pins it to the cap.
+pub(crate) fn bounded_backoff(base: u64, cap: u64, n: u32) -> u64 {
+    let shift = n.saturating_sub(1);
+    let delay = if base == 0 {
+        0
+    } else if shift > base.leading_zeros() {
+        u64::MAX
+    } else {
+        base << shift
+    };
+    delay.min(cap).max(1)
+}
+
 /// Rips `torn_bytes` off the tail of a shard's WAL — the kill
 /// injector's torn-append simulation. Tearing below the header is fine:
 /// recovery rewrites it as an empty log and the supervisor re-feeds the
 /// lost suffix from its routed backlog.
-fn tear_wal_tail(dir: &Path, torn_bytes: u64) -> Result<(), WalError> {
+pub(crate) fn tear_wal_tail(dir: &Path, torn_bytes: u64) -> Result<(), WalError> {
     let path = dir.join("wal.log");
     let f = match OpenOptions::new().write(true).open(&path) {
         Ok(f) => f,
@@ -389,13 +409,7 @@ impl<'a> Supervisor<'a> {
 
     /// The shard's next backoff slot after its `n`-th restart.
     fn backoff(&self, n: u32) -> u64 {
-        let shift = n.saturating_sub(1).min(63);
-        self.cfg
-            .backoff_base
-            .checked_shl(shift)
-            .unwrap_or(u64::MAX)
-            .min(self.cfg.backoff_cap)
-            .max(1)
+        bounded_backoff(self.cfg.backoff_base, self.cfg.backoff_cap, n)
     }
 
     /// Books one restart against the shard's budget: a backoff slot, or
@@ -926,22 +940,23 @@ mod tests {
     }
 
     #[test]
-    fn seeded_chaos_with_compaction_keeps_alarms_identical() {
-        // Score traces are not checkpointed, so with compaction enabled
-        // the gate is alarms + invocation counts (the scores caveat is
-        // documented on DurableConfig::record_scores).
+    fn seeded_chaos_with_compaction_keeps_alarms_and_scores_identical() {
+        // Since checkpoint v3 the score trace rides inside the `MFC1`
+        // envelope, so even with compaction folding the WAL away the
+        // gate is the full score identity, not just alarms.
         for shards in [2usize, 4] {
             let lake = DataLake::new();
             let registry = ModelRegistry::new();
             let dimms = setup(&lake, &registry);
             let outs = outputs(&dimms);
-            let (ref_alarms, _, ref_scored) = oracle(&lake, &registry, &outs, END);
+            let (ref_alarms, ref_scores, ref_scored) = oracle(&lake, &registry, &outs, END);
             let plan = ChaosPlan::seeded(5, shards, outs.len(), 6, 2);
             let dir = test_dir("compacting");
             let stores = make_stores(shards, ProblemConfig::default(), FaultThresholds::default());
             let cfg = DurableConfig {
                 batch: 3,
                 compact_every: 4,
+                record_scores: true,
                 ..DurableConfig::default()
             };
             let sup = Supervisor::new(
@@ -957,8 +972,35 @@ mod tests {
             .unwrap();
             let out = sup.run(&outs, END, &plan).unwrap();
             assert_eq!(out.alarms, ref_alarms, "shards={shards}: alarms");
+            assert_eq!(out.scores, ref_scores, "shards={shards}: scores");
             assert_eq!(out.scored, ref_scored, "shards={shards}: scored");
             let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn backoff_exponent_is_bounded_at_the_shift_boundary() {
+        // Plain doubling under the cap.
+        assert_eq!(bounded_backoff(1, u64::MAX, 1), 1);
+        assert_eq!(bounded_backoff(1, u64::MAX, 5), 16);
+        assert_eq!(bounded_backoff(3, 16, 40), 16);
+        // Boundary: the msb lands exactly on bit 63 without wrapping.
+        assert_eq!(bounded_backoff(1, u64::MAX, 64), 1 << 63);
+        // One past the boundary saturates instead of shifting out.
+        assert_eq!(bounded_backoff(1, u64::MAX, 65), u64::MAX);
+        // The old code wrapped `6 << 63` to zero here and collapsed the
+        // delay back to 1; the bounded exponent saturates instead.
+        assert_eq!(bounded_backoff(6, u64::MAX, 64), u64::MAX);
+        assert_eq!(bounded_backoff(6, 1 << 40, 64), 1 << 40);
+        // Degenerate bases stay within [1, cap].
+        assert_eq!(bounded_backoff(0, 16, 3), 1);
+        assert_eq!(bounded_backoff(1, u64::MAX, u32::MAX), u64::MAX);
+        // Monotone in the restart count, so min(cap) is a true clamp.
+        let mut prev = 0;
+        for n in 1..80 {
+            let d = bounded_backoff(5, u64::MAX, n);
+            assert!(d >= prev, "backoff must not shrink at n={n}");
+            prev = d;
         }
     }
 

@@ -105,7 +105,7 @@ pub const WAL_VERSION: u8 = 1;
 /// Bytes of `magic ++ version` before the first record.
 const HEADER_LEN: usize = 5;
 /// Bytes of `kind ++ seq ++ len` before a record's payload.
-const RECORD_HEADER_LEN: usize = 13;
+pub(crate) const RECORD_HEADER_LEN: usize = 13;
 
 /// IEEE CRC-32 (the Ethernet/zip polynomial), table-driven.
 ///
@@ -317,7 +317,7 @@ pub fn scan(data: &[u8]) -> Result<WalContents, WalError> {
 
 /// Decodes the record at the head of `data`; `None` when it is torn,
 /// corrupt or unknown (the caller stops scanning there).
-fn decode_record(data: &[u8]) -> Option<WalRecord> {
+pub(crate) fn decode_record(data: &[u8]) -> Option<WalRecord> {
     if data.len() < RECORD_HEADER_LEN + 4 {
         return None;
     }
@@ -606,7 +606,7 @@ fn recover_wal_file(path: &Path) -> Result<(File, WalContents), WalError> {
 /// Groups a run of pending outputs into WAL records starting at sequence
 /// number `seq`: contiguous released events batch into one record, each
 /// gap gets its own.
-fn batch_outputs(pending: &[IngestOutput], mut seq: u64) -> Vec<WalRecord> {
+pub(crate) fn batch_outputs(pending: &[IngestOutput], mut seq: u64) -> Vec<WalRecord> {
     let mut records = Vec::new();
     let mut run: Vec<MemEvent> = Vec::new();
     for out in pending {

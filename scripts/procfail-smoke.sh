@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Procfail smoke: run the SIGKILL-chaos gate for process-isolated
+# serving. procfail_chaos simulates a Purley sub-fleet, then drives one
+# worker OS process per shard (re-execs of the same binary speaking the
+# crc32-framed MFP1 pipe protocol) through seeded schedules of real
+# SIGKILLs with torn WAL tails, hangs caught by heartbeat deadline, and
+# injected apply panics, across a {1,2,4}-shard matrix. The build fails
+# unless every run's merged alarms and scores reproduce the uncrashed
+# sequential oracle bit for bit (non-zero exit on the first divergence).
+# Writes a machine-readable BENCH_procfail.json that the CI job uploads,
+# including restart / SIGKILL / replay / quarantine counts.
+#
+# Prefers cargo; falls back to the offline rustc harness when the
+# registry is unreachable (air-gapped CI).
+#
+# Usage: scripts/procfail-smoke.sh [extra procfail_chaos flags ...]
+#
+# Environment:
+#   DIMMS=400                    fleet size (Purley sub-population)
+#   SCHEDULES=2                  chaos schedules per shard count
+#   CHAOS_EVENTS=5               injected faults per schedule
+#   PROCFAIL_OUT=BENCH_procfail.json  baseline path
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+PROCFAIL_ARGS=(
+  --dimms "${DIMMS:-400}"
+  --schedules "${SCHEDULES:-2}"
+  --chaos-events "${CHAOS_EVENTS:-5}"
+  --horizon-days 14
+  --out "${PROCFAIL_OUT:-BENCH_procfail.json}"
+  "$@"
+)
+
+if cargo build --release -p mfp-bench --bin procfail_chaos 2>/dev/null; then
+  cargo run --release -p mfp-bench --bin procfail_chaos -- "${PROCFAIL_ARGS[@]}"
+  exit $?
+fi
+
+echo "[procfail-smoke] cargo unavailable, using the offline harness" >&2
+"$ROOT/scripts/offline-test.sh" --bin procfail_chaos -- "${PROCFAIL_ARGS[@]}"

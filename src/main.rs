@@ -87,6 +87,14 @@ fn parse(args: &[String]) -> Option<Args> {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden worker mode: a ProcSupervisor re-execs this binary with
+    // `--shard-worker` (and the env marker) to host one shard behind
+    // the MFP1 pipe protocol. Never part of the user-facing CLI.
+    if std::env::var_os(mfp_mlops::procserve::WORKER_ENV).is_some()
+        || argv.first().map(String::as_str) == Some("--shard-worker")
+    {
+        std::process::exit(mfp_mlops::procserve::shard_worker_main());
+    }
     let Some((cmd, rest)) = argv.split_first() else {
         return usage();
     };

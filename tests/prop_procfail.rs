@@ -1,0 +1,176 @@
+//! Property tests of the `MFP1` IPC framing (`mfp_mlops::procserve`):
+//! for randomized frame streams, truncation at an arbitrary byte offset
+//! and single bit flips must never forge a frame — [`scan_frames`] and
+//! the incremental [`FrameReader`] decode exactly a valid prefix and
+//! classify the rest as torn/corrupt. Also a process-level smoke: the
+//! real `memfault --shard-worker` binary speaks the protocol over a
+//! pipe and exits cleanly on EOF.
+
+use mfp_mlops::procserve::{
+    encode_frame, scan_frames, stream_header, FrameReader, FrameStep, ProcError, RawFrame,
+    WORKER_ENV,
+};
+use proptest::prelude::*;
+
+/// SplitMix64: the repo's dependency-free PRNG for derived quantities.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded stream: the 5-byte header plus `n` random frames.
+fn build_stream(seed: u64, n: usize) -> (Vec<u8>, Vec<RawFrame>) {
+    let mut s = seed;
+    let mut bytes = stream_header().to_vec();
+    let mut frames = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = (splitmix(&mut s) % 20) as u8 + 1;
+        let seq = splitmix(&mut s);
+        let plen = (splitmix(&mut s) % 200) as usize;
+        let payload: Vec<u8> = (0..plen).map(|_| splitmix(&mut s) as u8).collect();
+        bytes.extend_from_slice(&encode_frame(kind, seq, &payload));
+        frames.push(RawFrame { kind, seq, payload });
+    }
+    (bytes, frames)
+}
+
+/// Frames whose encodings fit entirely within `cut` bytes of stream.
+fn complete_within(frames: &[RawFrame], cut: usize) -> usize {
+    let mut pos = stream_header().len();
+    let mut k = 0;
+    for f in frames {
+        pos += 13 + f.payload.len() + 4;
+        if pos > cut {
+            break;
+        }
+        k += 1;
+    }
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Truncating the stream at any byte offset yields exactly the
+    /// frames that are complete before the cut; the remainder is torn,
+    /// never misparsed. In particular a torn *final* frame is detected.
+    #[test]
+    fn truncation_decodes_exactly_the_complete_prefix(
+        seed in any::<u64>(),
+        n in 1usize..12,
+        frac in 0.0f64..1.0,
+    ) {
+        let (bytes, frames) = build_stream(seed, n);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let scan = scan_frames(&bytes[..cut]).expect("truncation is torn, not malformed");
+        let k = complete_within(&frames, cut);
+        prop_assert_eq!(&scan.frames[..], &frames[..k]);
+        // Byte accounting is exact: everything past the decodable
+        // prefix — including a torn final frame — is reported torn.
+        prop_assert_eq!(scan.valid_bytes + scan.torn_bytes, cut as u64);
+        // Re-scanning only the valid prefix is clean and idempotent.
+        let again = scan_frames(&bytes[..scan.valid_bytes as usize])
+            .expect("valid prefix rescans");
+        prop_assert_eq!(again.frames, scan.frames);
+        prop_assert_eq!(again.torn_bytes, 0);
+    }
+
+    /// A single bit flip anywhere past the header can corrupt or end
+    /// the stream but never forges a frame: every decoded frame is one
+    /// of the originals, in order, as a strict prefix.
+    #[test]
+    fn bit_flips_never_forge_frames(
+        seed in any::<u64>(),
+        n in 1usize..10,
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let (mut bytes, frames) = build_stream(seed, n);
+        let lo = stream_header().len();
+        let pos = lo + (((bytes.len() - lo - 1) as f64) * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        let scan = scan_frames(&bytes).expect("header is intact");
+        prop_assert!(scan.frames.len() < frames.len());
+        prop_assert_eq!(&scan.frames[..], &frames[..scan.frames.len()]);
+    }
+
+    /// A flipped header is rejected outright, not resynchronized into
+    /// phantom frames.
+    #[test]
+    fn header_flips_are_bad_header(seed in any::<u64>(), pos in 0usize..5, bit in 0u8..8) {
+        let (mut bytes, _) = build_stream(seed, 3);
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(matches!(scan_frames(&bytes), Err(ProcError::BadHeader)));
+    }
+
+    /// The incremental reader recovers the full frame sequence no
+    /// matter how the bytes are chopped into reads, even with a
+    /// printable-ASCII banner (a test harness preamble) ahead of the
+    /// header.
+    #[test]
+    fn driblet_reads_with_leading_banner_recover_everything(
+        seed in any::<u64>(),
+        n in 1usize..8,
+        banner_len in 0usize..40,
+        chunk_seed in any::<u64>(),
+    ) {
+        let (stream, frames) = build_stream(seed, n);
+        let mut s = seed ^ 0xABCD;
+        // Printable ASCII can never contain the 0x01 version byte, so
+        // the banner cannot alias the header.
+        let mut bytes: Vec<u8> =
+            (0..banner_len).map(|_| b' ' + (splitmix(&mut s) % 95) as u8).collect();
+        bytes.extend_from_slice(&stream);
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        let mut cs = chunk_seed;
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let take = 1 + (splitmix(&mut cs) % 37) as usize;
+            let hi = (pos + take).min(bytes.len());
+            reader.push(&bytes[pos..hi]);
+            pos = hi;
+            loop {
+                match reader.next() {
+                    FrameStep::Frame(f) => got.push(f),
+                    FrameStep::NeedMore => break,
+                    FrameStep::Corrupt => prop_assert!(false, "clean stream read as corrupt"),
+                }
+            }
+        }
+        prop_assert_eq!(got, frames);
+    }
+}
+
+/// The real worker binary comes up, writes its stream header to the
+/// pipe, and exits 0 when the supervisor side closes stdin before the
+/// handshake — the supervisor relies on this for graceful teardown of
+/// half-started workers.
+#[test]
+fn worker_binary_writes_header_and_exits_cleanly_on_eof() {
+    use std::io::Read;
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_memfault"))
+        .arg("--shard-worker")
+        .env(WORKER_ENV, "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker");
+    drop(child.stdin.take());
+    let mut out = Vec::new();
+    child
+        .stdout
+        .take()
+        .expect("piped stdout")
+        .read_to_end(&mut out)
+        .expect("read worker stdout");
+    let status = child.wait().expect("wait for worker");
+    assert!(status.success(), "worker exited {status:?}");
+    assert_eq!(&out[..], &stream_header()[..], "worker must open with the MFP1 header");
+}
