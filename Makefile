@@ -1,8 +1,9 @@
 # Convenience entry points; each target works offline (no crates.io
 # access needed) via scripts/offline-test.sh when cargo can't resolve
-# the registry.
+# the registry. The smoke gates share one parameterized driver,
+# scripts/smoke.sh — each target below is a thin alias onto its table.
 
-.PHONY: test chaos e2e serve wal failover procfail ci
+.PHONY: test chaos e2e serve wal failover procfail bench-check ci
 
 # Unit tests for every crate (merged-crate rustc harness).
 test:
@@ -12,34 +13,35 @@ test:
 # followed by the chaos smoke at the CI recall floor.
 ci:
 	scripts/offline-test.sh
-	MIN_RECALL=0.90 scripts/chaos-smoke.sh
+	MIN_RECALL=0.90 scripts/smoke.sh chaos
 
 # Hostile-telemetry smoke: chaos_e2e at three corruption rates with an
 # alarm-recall floor and a lossless bit-identity gate.
 chaos:
-	scripts/chaos-smoke.sh
+	scripts/smoke.sh chaos
 
 # Happy-path MLOps end-to-end.
 e2e:
 	scripts/offline-test.sh --bin mlops_e2e
 
 # Sharded serving matrix: bit-identity gate against the sequential
-# predictor plus refreshed BENCH_serve.json / BENCH_fleet.json baselines.
+# predictor, plus the tick/event engine matrix of the fleet simulator;
+# refreshes the BENCH_serve.json / BENCH_fleet.json baselines.
 serve:
-	scripts/serve-smoke.sh
+	scripts/smoke.sh serve fleet
 
 # Durability gate: crash the write-ahead log at sampled byte offsets and
 # require recovery + resume to reproduce the uncrashed alarm log bit for
 # bit; refreshes the BENCH_wal.json baseline.
 wal:
-	scripts/wal-smoke.sh
+	scripts/smoke.sh wal
 
 # Self-healing gate: drive the supervised sharded engine through seeded
 # kill/hang/panic schedules (torn WAL tails included) and require merged
 # alarms + scores to match the uncrashed oracle bit for bit; refreshes
 # the BENCH_failover.json baseline.
 failover:
-	scripts/failover-smoke.sh
+	scripts/smoke.sh failover
 
 # Process-isolation gate: run one worker OS process per shard behind the
 # MFP1 pipe protocol, inject real SIGKILLs (torn WAL tails), hangs and
@@ -47,4 +49,11 @@ failover:
 # uncrashed oracle bit for bit; refreshes the BENCH_procfail.json
 # baseline.
 procfail:
-	scripts/procfail-smoke.sh
+	scripts/smoke.sh procfail
+
+# Perf-trajectory gate: re-run every smoke gate into a scratch dir and
+# compare the fresh BENCH_*.json against the committed baselines —
+# config_hash must match, identity=false always fails, perf regressions
+# fail only when the committed `cores` matches this host.
+bench-check:
+	scripts/bench-check.sh

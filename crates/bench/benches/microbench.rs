@@ -152,6 +152,26 @@ fn sample_assembly(c: &mut Criterion) {
             }
         })
     });
+    // Same pass with per-DIMM buffers recycled through a StreamArena
+    // instead of reallocated (the dataset-assembly configuration).
+    g.bench_function("extract_streaming_arena", |b| {
+        b.iter(|| {
+            let mut arena = StreamArena::default();
+            for truth in fleet.platform_dimms(Platform::IntelPurley) {
+                let Some(events) = by_dimm.get(&truth.id) else {
+                    continue;
+                };
+                let history = DimmHistory::new(events);
+                let times = problem.sample_times(&history, fleet.config.horizon);
+                let mut stream =
+                    FeatureStream::with_arena(history, &truth.spec, &problem, &th, &mut arena);
+                for t in times {
+                    black_box(stream.features_at(t));
+                }
+                stream.recycle(&mut arena);
+            }
+        })
+    });
 
     // Whole-fleet assembly at fixed worker counts (identical output).
     for workers in [1usize, 2, 4] {
@@ -225,6 +245,25 @@ fn fleet_scale(c: &mut Criterion) {
     // bounded-ingest bridge sees.
     g.bench_function("sharded_8x2w_stream", |b| {
         let planned = ShardedFleet::plan(&cfg);
+        let scfg = ShardConfig::new(8, 2);
+        b.iter(|| {
+            let mut n = 0u64;
+            planned.run_stream(&scfg, |e| {
+                n += black_box(&e).is_ue() as u64;
+            });
+            black_box(n)
+        })
+    });
+    // The event-driven engine over the same fleet: identical stream
+    // (gated elsewhere), but quiet time is skipped instead of ticked.
+    for workers in [1usize, 4] {
+        g.bench_function(format!("event_8x{workers}w"), |b| {
+            let scfg = ShardConfig::new(8, workers);
+            b.iter(|| black_box(simulate_fleet_events(black_box(&cfg), &scfg)))
+        });
+    }
+    g.bench_function("event_8x2w_stream", |b| {
+        let planned = EventFleet::plan(&cfg);
         let scfg = ShardConfig::new(8, 2);
         b.iter(|| {
             let mut n = 0u64;

@@ -59,6 +59,20 @@ impl ErrorTransfer {
         t
     }
 
+    /// Builds a transfer directly from per-beat lane bitmaps, the inverse
+    /// of [`Self::beats`] — used by compact (SoA) event stores to
+    /// reconstruct transfers without replaying `set` per bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any beat has a bit set above lane [`BUS_BITS`].
+    pub fn from_beats(beats: [u128; BURST_BEATS as usize]) -> Self {
+        for &b in &beats {
+            assert!(b & !Self::LANE_MASK == 0, "lane bit out of range");
+        }
+        ErrorTransfer { beats }
+    }
+
     /// Marks the bit on `dq` during `beat` as erroneous.
     ///
     /// # Panics
@@ -247,6 +261,20 @@ mod tests {
     #[should_panic(expected = "dq")]
     fn set_rejects_bad_dq() {
         ErrorTransfer::new().set(0, 72);
+    }
+
+    #[test]
+    fn from_beats_roundtrips() {
+        let t = ErrorTransfer::from_bits([(0, 4), (3, 71), (7, 0)]);
+        assert_eq!(ErrorTransfer::from_beats(*t.beats()), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane")]
+    fn from_beats_rejects_out_of_range_lanes() {
+        let mut beats = [0u128; 8];
+        beats[2] = 1u128 << 72;
+        let _ = ErrorTransfer::from_beats(beats);
     }
 
     #[test]

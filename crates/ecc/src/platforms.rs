@@ -28,6 +28,7 @@ use crate::secded::Hsiao7264;
 use mfp_dram::bus::ErrorTransfer;
 use mfp_dram::geometry::{DataWidth, Platform, BURST_BEATS};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -217,6 +218,268 @@ impl EccScheme for CachedPlatformEcc {
         }
         cache.insert(key, out);
         out
+    }
+}
+
+/// A fast multiply-fold hasher for the beat-memo tables.
+///
+/// Beat-memo keys are one or two `u128` lane words; SipHash (the `HashMap`
+/// default) costs more than the RS decode it would save on small patterns.
+/// This hasher folds each 64-bit half through a multiply + rotate — not
+/// collision-resistant against adversaries, which is fine for a cache whose
+/// worst case on collision is a redundant pure decode.
+#[derive(Debug, Clone, Default)]
+pub struct FoldHasher {
+    state: u64,
+}
+
+const FOLD_K: u64 = 0x2545_F491_4F6C_DD1D;
+
+impl Hasher for FoldHasher {
+    fn finish(&self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 32;
+        x = x.wrapping_mul(FOLD_K);
+        x ^ (x >> 29)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(FOLD_K).rotate_left(5);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state ^ v).wrapping_mul(FOLD_K).rotate_left(23);
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+}
+
+type FoldState = BuildHasherDefault<FoldHasher>;
+
+/// A beat-level decode memo shared across every platform scheme.
+///
+/// [`CachedPlatformEcc`] memoizes whole `(transfer, width)` bursts, one
+/// table per platform instance, behind a mutex. The event-driven simulator
+/// wants something stronger: all platform decoders are *per-beat*
+/// compositional — each beat (or beat pair) decodes independently and the
+/// results meet in the order-free [`DecodeOutcome::combine`] monoid, with
+/// all-zero beats decoding `Clean` — so memoizing at the code-word level
+/// makes every stuck-pattern beat a shared hit regardless of which burst,
+/// platform, or DIMM it appears in:
+///
+/// * `rs_beat` — RS(18,16)/GF(256) per-beat words. Purley's strong (even)
+///   beats, Whitley, and ADDDC lockstep all run the *same* nibble→symbol
+///   decode, so one table serves all three.
+/// * `secded_beat` — Hsiao (72,64) words: Purley's weak (odd) beats and
+///   every x8 fallback.
+/// * `pair` — K920 beat-pair symbols, keyed on the `(even, odd)` lane pair.
+///
+/// `decode` takes `&mut self` — the event engine owns one memo per worker,
+/// so there is no lock and no shared cacheline. Tables are bounded and
+/// cleared when full (same policy as [`CachedPlatformEcc`]); telemetry is
+/// accumulated locally and flushed on drop as `ecc_beat_memo_hits` /
+/// `ecc_beat_memo_misses`.
+#[derive(Debug)]
+pub struct BeatMemoEcc {
+    rs: RsCode<256>,
+    secded: Hsiao7264,
+    rs_beat: HashMap<u128, DecodeOutcome, FoldState>,
+    secded_beat: HashMap<u128, DecodeOutcome, FoldState>,
+    pair: HashMap<(u128, u128), DecodeOutcome, FoldState>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl BeatMemoEcc {
+    /// Default per-table bound — sized for a whole shard's fault working
+    /// set, not a single DIMM's.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates a memo with [`Self::DEFAULT_CAPACITY`] per table.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a memo with an explicit per-table bound (`capacity >= 1`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "memo capacity must be positive");
+        BeatMemoEcc {
+            rs: RsCode::new(&GF256, 18, 16),
+            secded: Hsiao7264::new(),
+            rs_beat: HashMap::with_capacity_and_hasher(256, FoldState::default()),
+            secded_beat: HashMap::with_capacity_and_hasher(256, FoldState::default()),
+            pair: HashMap::with_capacity_and_hasher(256, FoldState::default()),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total memoized code words across the three tables.
+    pub fn cached_entries(&self) -> usize {
+        self.rs_beat.len() + self.secded_beat.len() + self.pair.len()
+    }
+
+    /// (hits, misses) accumulated so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn rs_word(&mut self, lanes: u128) -> DecodeOutcome {
+        if let Some(&out) = self.rs_beat.get(&lanes) {
+            self.hits += 1;
+            return out;
+        }
+        let mut symbols = [0u8; 18];
+        for (d, sym) in symbols.iter_mut().enumerate() {
+            *sym = ((lanes >> (d * 4)) & 0xF) as u8;
+        }
+        let out: DecodeOutcome = self.rs.decode_error(&symbols).into();
+        self.misses += 1;
+        if self.rs_beat.len() >= self.capacity {
+            self.rs_beat.clear();
+        }
+        self.rs_beat.insert(lanes, out);
+        out
+    }
+
+    fn secded_word(&mut self, lanes: u128) -> DecodeOutcome {
+        if let Some(&out) = self.secded_beat.get(&lanes) {
+            self.hits += 1;
+            return out;
+        }
+        let out: DecodeOutcome = self.secded.decode_error(lanes).into();
+        self.misses += 1;
+        if self.secded_beat.len() >= self.capacity {
+            self.secded_beat.clear();
+        }
+        self.secded_beat.insert(lanes, out);
+        out
+    }
+
+    fn pair_word(&mut self, even: u128, odd: u128) -> DecodeOutcome {
+        if let Some(&out) = self.pair.get(&(even, odd)) {
+            self.hits += 1;
+            return out;
+        }
+        let mut symbols = [0u8; 18];
+        for (d, sym) in symbols.iter_mut().enumerate() {
+            let lo = ((even >> (d * 4)) & 0xF) as u8;
+            let hi = ((odd >> (d * 4)) & 0xF) as u8;
+            *sym = lo | (hi << 4);
+        }
+        let out: DecodeOutcome = self.rs.decode_error(&symbols).into();
+        self.misses += 1;
+        if self.pair.len() >= self.capacity {
+            self.pair.clear();
+        }
+        self.pair.insert((even, odd), out);
+        out
+    }
+
+    /// Decodes a burst under `platform`'s scheme; equal to
+    /// `PlatformEcc::for_platform(platform).decode(transfer, width)`.
+    ///
+    /// Zero beats are skipped (they decode `Clean`, the combine identity)
+    /// and the scan stops at the first `Ue` (`combine(Ue, _) = Ue`), so the
+    /// shortcuts are exact, not approximate.
+    pub fn decode(
+        &mut self,
+        platform: Platform,
+        transfer: &ErrorTransfer,
+        width: DataWidth,
+    ) -> DecodeOutcome {
+        let beats = *transfer.beats();
+        let mut out = DecodeOutcome::Clean;
+        match (width, platform) {
+            (DataWidth::X4, Platform::IntelPurley) => {
+                for (beat, &lanes) in beats.iter().enumerate() {
+                    if lanes == 0 {
+                        continue;
+                    }
+                    let word = if PurleyEcc::beat_is_strong(beat as u8) {
+                        self.rs_word(lanes)
+                    } else {
+                        self.secded_word(lanes)
+                    };
+                    out = out.combine(word);
+                    if out == DecodeOutcome::Ue {
+                        break;
+                    }
+                }
+            }
+            (DataWidth::X4, Platform::IntelWhitley) => {
+                for &lanes in &beats {
+                    if lanes == 0 {
+                        continue;
+                    }
+                    out = out.combine(self.rs_word(lanes));
+                    if out == DecodeOutcome::Ue {
+                        break;
+                    }
+                }
+            }
+            (DataWidth::X4, Platform::K920) => {
+                for p in 0..(BURST_BEATS as usize / 2) {
+                    let (even, odd) = (beats[2 * p], beats[2 * p + 1]);
+                    if even == 0 && odd == 0 {
+                        continue;
+                    }
+                    out = out.combine(self.pair_word(even, odd));
+                    if out == DecodeOutcome::Ue {
+                        break;
+                    }
+                }
+            }
+            (DataWidth::X8, _) => {
+                for &lanes in &beats {
+                    if lanes == 0 {
+                        continue;
+                    }
+                    out = out.combine(self.secded_word(lanes));
+                    if out == DecodeOutcome::Ue {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a burst under the ADDDC lockstep scheme; equal to
+    /// `SddcPerBeat::new().decode(transfer, width)`.
+    pub fn decode_lockstep(&mut self, transfer: &ErrorTransfer, width: DataWidth) -> DecodeOutcome {
+        // Lockstep x4 runs the identical RS(18,16) nibble→symbol word as
+        // Whitley, so it shares the same memo table.
+        match width {
+            DataWidth::X4 => self.decode(Platform::IntelWhitley, transfer, width),
+            DataWidth::X8 => self.decode(Platform::IntelPurley, transfer, width),
+        }
+    }
+}
+
+impl Default for BeatMemoEcc {
+    fn default() -> Self {
+        BeatMemoEcc::new()
+    }
+}
+
+impl Drop for BeatMemoEcc {
+    /// Flushes hit/miss telemetry once per instance, like
+    /// [`CachedPlatformEcc`].
+    fn drop(&mut self) {
+        if self.hits > 0 {
+            mfp_obs::counter("ecc_beat_memo_hits", &[]).add(self.hits);
+        }
+        if self.misses > 0 {
+            mfp_obs::counter("ecc_beat_memo_misses", &[]).add(self.misses);
+        }
     }
 }
 
@@ -421,6 +684,99 @@ mod tests {
             );
         }
         assert!(cached.cached_entries() <= 4, "bound must hold after churn");
+    }
+
+    /// The pattern grid used by the memo-equality tests: single-bit,
+    /// device-confined multi-bit, cross-beat, cross-device, and empty.
+    fn pattern_grid() -> Vec<ErrorTransfer> {
+        let mut patterns = vec![ErrorTransfer::new()];
+        for beat in 0..8u8 {
+            for dq in [0u8, 3, 21, 70] {
+                patterns.push(ErrorTransfer::from_bits([(beat, dq)]));
+            }
+            patterns.push(device_bits(5, &[(beat, 0), (beat, 1)]));
+            patterns.push(device_bits(2, &[(beat, 0), ((beat + 1) % 8, 3)]));
+            patterns.push(device_bits(7, &[(beat, 0), (beat, 1), (beat, 2), (beat, 3)]));
+            let mut t = device_bits(3, &[(beat, 0), (beat, 1)]);
+            t.set(beat, 9 * 4);
+            patterns.push(t);
+        }
+        patterns
+    }
+
+    #[test]
+    fn beat_memo_agrees_with_platform_decoders() {
+        let patterns = pattern_grid();
+        let mut memo = BeatMemoEcc::new();
+        for p in Platform::ALL {
+            let oracle = PlatformEcc::for_platform(p);
+            for width in [DataWidth::X4, DataWidth::X8] {
+                for _pass in 0..2 {
+                    for t in &patterns {
+                        assert_eq!(
+                            memo.decode(p, t, width),
+                            oracle.decode(t, width),
+                            "{p} {width:?} {t:?}"
+                        );
+                    }
+                }
+            }
+        }
+        let (hits, misses) = memo.stats();
+        assert!(hits > 0 && misses > 0, "second pass must hit the memo");
+        assert!(memo.cached_entries() > 0);
+    }
+
+    #[test]
+    fn beat_memo_lockstep_agrees_with_sddc_per_beat() {
+        let patterns = pattern_grid();
+        let oracle = SddcPerBeat::new();
+        let mut memo = BeatMemoEcc::new();
+        for width in [DataWidth::X4, DataWidth::X8] {
+            for t in &patterns {
+                assert_eq!(
+                    memo.decode_lockstep(t, width),
+                    oracle.decode(t, width),
+                    "lockstep {width:?} {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beat_memo_clears_at_capacity_and_stays_correct() {
+        let mut memo = BeatMemoEcc::with_capacity(4);
+        let oracle = PlatformEcc::for_platform(Platform::IntelWhitley);
+        for dq in 0..32u8 {
+            let t = ErrorTransfer::from_bits([(0, dq)]);
+            assert_eq!(
+                memo.decode(Platform::IntelWhitley, &t, DataWidth::X4),
+                oracle.decode(&t, DataWidth::X4)
+            );
+        }
+        assert!(memo.rs_beat.len() <= 4, "bound must hold after churn");
+    }
+
+    #[test]
+    fn beat_memo_telemetry_flushes_on_drop() {
+        let snap = mfp_obs::global().snapshot();
+        let (hits0, misses0) = (
+            snap.counter("ecc_beat_memo_hits"),
+            snap.counter("ecc_beat_memo_misses"),
+        );
+        {
+            let mut memo = BeatMemoEcc::new();
+            let t = device_bits(3, &[(0, 1)]);
+            for _ in 0..3 {
+                assert_eq!(
+                    memo.decode(Platform::IntelWhitley, &t, DataWidth::X4),
+                    DecodeOutcome::Corrected
+                );
+            }
+        }
+        let snap = mfp_obs::global().snapshot();
+        assert!(snap.counter("ecc_beat_memo_hits") - hits0 >= 2);
+        assert!(snap.counter("ecc_beat_memo_misses") - misses0 >= 1);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::fault_analysis::FaultThresholds;
 use crate::history::DimmHistory;
 use crate::labeling::ProblemConfig;
-use crate::stream::FeatureStream;
+use crate::stream::{FeatureStream, StreamArena};
 use mfp_dram::address::DimmId;
 use mfp_dram::event::MemEvent;
 use mfp_dram::geometry::Platform;
@@ -164,6 +164,7 @@ impl SampleSet {
 }
 
 /// Streams one DIMM's history into samples appended onto `set`.
+#[allow(clippy::too_many_arguments)]
 fn stream_dimm_samples(
     set: &mut SampleSet,
     id: DimmId,
@@ -172,6 +173,7 @@ fn stream_dimm_samples(
     horizon: SimDuration,
     cfg: &ProblemConfig,
     thresholds: &FaultThresholds,
+    arena: &mut StreamArena,
 ) {
     let history = DimmHistory::new(events);
     let times = cfg.sample_times(&history, horizon);
@@ -179,7 +181,7 @@ fn stream_dimm_samples(
         return;
     }
     let first_ue = history.first_ue();
-    let mut stream = FeatureStream::new(history, spec, cfg, thresholds);
+    let mut stream = FeatureStream::with_arena(history, spec, cfg, thresholds, arena);
     set.reserve(times.len());
     for t in times {
         let Some(label) = cfg.label_at(t, first_ue) else {
@@ -188,6 +190,7 @@ fn stream_dimm_samples(
         let row = stream.features_at(t);
         set.push(row, label, id, t);
     }
+    stream.recycle(arena);
 }
 
 /// Builds the labelled sample set for one platform from a simulated fleet.
@@ -241,6 +244,9 @@ pub fn build_samples_with_workers(
             handles.push(s.spawn(move |_| {
                 let _span = worker_seconds.time();
                 let mut part = SampleSet::new();
+                // One arena per worker: per-DIMM prefix/profile buffers are
+                // recycled across the chunk instead of reallocated.
+                let mut arena = StreamArena::default();
                 for (truth, events) in slice {
                     stream_dimm_samples(
                         &mut part,
@@ -250,6 +256,7 @@ pub fn build_samples_with_workers(
                         horizon,
                         cfg,
                         thresholds,
+                        &mut arena,
                     );
                 }
                 part

@@ -87,6 +87,26 @@ fn decrement<K: std::hash::Hash + Eq>(map: &mut HashMap<K, u32>, key: K) {
     }
 }
 
+/// Reusable allocation pool for [`FeatureStream`] construction.
+///
+/// Building a stream allocates three per-DIMM vectors (CE/storm prefix
+/// counts and per-event bit profiles). Dataset assembly constructs one
+/// stream per DIMM, so a worker that processes thousands of DIMMs pays
+/// thousands of allocate/free cycles for buffers of similar size. An
+/// arena lets the caller recycle those buffers across DIMMs:
+/// [`FeatureStream::with_arena`] steals the arena's vectors (cleared, with
+/// capacity retained) and [`FeatureStream::recycle`] hands them back.
+///
+/// Reuse is a pure allocation optimisation: the vectors are cleared and
+/// rebuilt from scratch per DIMM, so the features are bit-identical to
+/// streams built with [`FeatureStream::new`] (asserted in the unit tests).
+#[derive(Debug, Default)]
+pub struct StreamArena {
+    ce_prefix: Vec<u32>,
+    storm_prefix: Vec<u32>,
+    profiles: Vec<Option<CeBitProfile>>,
+}
+
 /// A streaming feature extractor for one DIMM.
 ///
 /// Construct once per DIMM, then call [`Self::features_at`] at
@@ -154,12 +174,34 @@ impl<'a> FeatureStream<'a> {
         cfg: &'a ProblemConfig,
         thresholds: &'a FaultThresholds,
     ) -> Self {
+        FeatureStream::with_arena(history, spec, cfg, thresholds, &mut StreamArena::default())
+    }
+
+    /// [`Self::new`] reusing the allocations held in `arena`.
+    ///
+    /// The arena's buffers are taken (leaving it empty but ready for the
+    /// next recycle), cleared, and rebuilt for this DIMM; capacity from
+    /// previous DIMMs is retained. Pair with [`Self::recycle`] to return
+    /// them once the stream is done.
+    pub fn with_arena(
+        history: DimmHistory<'a>,
+        spec: &'a DimmSpec,
+        cfg: &'a ProblemConfig,
+        thresholds: &'a FaultThresholds,
+        arena: &mut StreamArena,
+    ) -> Self {
         let events = history.events();
-        let mut ce_prefix = Vec::with_capacity(events.len() + 1);
-        let mut storm_prefix = Vec::with_capacity(events.len() + 1);
+        let mut ce_prefix = std::mem::take(&mut arena.ce_prefix);
+        let mut storm_prefix = std::mem::take(&mut arena.storm_prefix);
+        let mut profiles = std::mem::take(&mut arena.profiles);
+        ce_prefix.clear();
+        storm_prefix.clear();
+        profiles.clear();
+        ce_prefix.reserve(events.len() + 1);
+        storm_prefix.reserve(events.len() + 1);
+        profiles.reserve(events.len());
         ce_prefix.push(0);
         storm_prefix.push(0);
-        let mut profiles = Vec::with_capacity(events.len());
         for e in events {
             let ce = e.as_ce();
             ce_prefix.push(ce_prefix.last().unwrap() + u32::from(ce.is_some()));
@@ -195,6 +237,14 @@ impl<'a> FeatureStream<'a> {
     /// The wrapped history.
     pub fn history(&self) -> &DimmHistory<'a> {
         &self.history
+    }
+
+    /// Consumes the stream, returning its per-DIMM buffers to `arena` so
+    /// the next [`Self::with_arena`] call reuses their capacity.
+    pub fn recycle(self, arena: &mut StreamArena) {
+        arena.ce_prefix = self.ce_prefix;
+        arena.storm_prefix = self.storm_prefix;
+        arena.profiles = self.profiles;
     }
 
     /// Extracts the feature vector at evaluation time `t`, bit-identical to
@@ -444,6 +494,40 @@ mod tests {
                 "diverged at t = {secs}s"
             );
         }
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical_to_fresh_streams() {
+        let fleet = simulate_fleet(&FleetConfig::smoke(11));
+        let cfg = ProblemConfig::default();
+        let th = FaultThresholds::default();
+        let by_dimm = fleet.log.by_dimm();
+        let mut arena = StreamArena::default();
+        let mut dimms_checked = 0;
+        for truth in fleet.platform_dimms(Platform::IntelPurley) {
+            let Some(events) = by_dimm.get(&truth.id) else {
+                continue;
+            };
+            let history = DimmHistory::new(events);
+            let times = cfg.sample_times(&history, fleet.config.horizon);
+            if times.is_empty() {
+                continue;
+            }
+            let mut fresh = FeatureStream::new(history.clone(), &truth.spec, &cfg, &th);
+            let mut reused =
+                FeatureStream::with_arena(history, &truth.spec, &cfg, &th, &mut arena);
+            for t in times {
+                assert_eq!(
+                    reused.features_at(t),
+                    fresh.features_at(t),
+                    "arena stream diverged on {:?} at {t}",
+                    truth.id
+                );
+            }
+            reused.recycle(&mut arena);
+            dimms_checked += 1;
+        }
+        assert!(dimms_checked > 1, "must exercise arena reuse across DIMMs");
     }
 
     #[test]

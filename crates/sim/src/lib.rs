@@ -34,6 +34,7 @@
 pub mod chaos;
 pub mod config;
 pub mod dimm;
+pub mod events;
 pub mod fault;
 pub mod fleet;
 pub mod gen;
@@ -45,6 +46,7 @@ pub mod prelude {
     pub use crate::chaos::{inject_chaos, BurstLoss, ChaosConfig, ChaosStats};
     pub use crate::config::{DimmCategory, FleetConfig, PlatformConfig};
     pub use crate::dimm::{simulate_dimm, DimmOutcome, StormPolicy};
+    pub use crate::events::{simulate_fleet_events, EventFleet};
     pub use crate::fault::{Fault, FaultMode, SeverityProfile};
     pub use crate::fleet::{simulate_fleet, DimmTruth, FleetResult};
     pub use crate::gen::DimmPlan;

@@ -50,6 +50,27 @@ trap 'if [ "${KEEP_WORK:-0}" = 1 ]; then echo "[offline-test] keeping work dir $
 # Library crates, with their directory under crates/.
 CRATES="obs dram ecc sim features tensor ml mlops core bench"
 
+# Dependency-free integration tests under tests/ that ride along as
+# modules of the merged crate (each gets its own summary row). The
+# proptest-based ones stay cargo-only.
+ITESTS="prop_events"
+
+# A crate directory absent from CRATES would silently vanish from the
+# harness table — its tests would never run here and the per-crate
+# summary would still look complete. Fail loudly instead.
+missing=""
+for d in "$ROOT"/crates/*/; do
+  c="$(basename "$d")"
+  case " $CRATES " in
+    *" $c "*) ;;
+    *) missing="$missing $c" ;;
+  esac
+done
+if [ -n "$missing" ]; then
+  echo "[offline-test] ERROR: workspace crates missing from the harness table (CRATES):$missing" >&2
+  exit 1
+fi
+
 # transform NAME < in > out: single-crate-ification of one source file.
 transform() {
   local name="$1"
@@ -76,6 +97,16 @@ for crate in $CRATES; do
     [ "$base" = "lib.rs" ] && continue
     transform "$crate" < "$f" > "$dst/$base"
   done
+done
+
+# Dependency-free integration tests become modules too, so the offline
+# run covers the cross-crate identity properties (e.g. tests/prop_events.rs
+# pitting the event engine against the tick oracle).
+mkdir -p "$WORK/its"
+: > "$WORK/its/mod.rs"
+for t in $ITESTS; do
+  transform sim < "$ROOT/tests/$t.rs" > "$WORK/its/$t.rs"
+  echo "pub mod $t;" >> "$WORK/its/mod.rs"
 done
 
 # Bench binaries become modules of the merged crate (entry point exposed
@@ -370,6 +401,7 @@ EOF
   for crate in $CRATES; do
     echo "pub mod mfp_$crate;"
   done
+  echo 'pub mod its;'
   echo 'pub mod bins;'
   if [ -n "$BIN" ]; then
     echo "fn main() { bins::$BIN::main() }"
@@ -402,8 +434,9 @@ if [ "$#" -gt 0 ]; then
   exit 0
 fi
 
-# CI mode: one libtest pass per crate, with a per-crate verdict and a
-# non-zero exit if any crate is red.
+# CI mode: one libtest pass per crate (plus one per ride-along
+# integration test), with a per-suite verdict and a non-zero exit if any
+# suite is red.
 failed=""
 for crate in $CRATES; do
   echo "[offline-test] testing mfp_$crate ..." >&2
@@ -414,12 +447,27 @@ for crate in $CRATES; do
     failed="$failed mfp_$crate"
   fi
 done
+for t in $ITESTS; do
+  echo "[offline-test] testing tests/$t.rs ..." >&2
+  if "$WORK/harness" "${SKIPS[@]}" "its::${t}::"; then
+    echo "[offline-test] tests/$t.rs: PASS" >&2
+  else
+    echo "[offline-test] tests/$t.rs: FAIL" >&2
+    failed="$failed tests/$t.rs"
+  fi
+done
 
 echo "[offline-test] ---- per-crate summary ----" >&2
 for crate in $CRATES; do
   case " $failed " in
     *" mfp_$crate "*) echo "[offline-test] mfp_$crate: FAIL" >&2 ;;
     *) echo "[offline-test] mfp_$crate: PASS" >&2 ;;
+  esac
+done
+for t in $ITESTS; do
+  case " $failed " in
+    *" tests/$t.rs "*) echo "[offline-test] tests/$t.rs: FAIL" >&2 ;;
+    *) echo "[offline-test] tests/$t.rs: PASS" >&2 ;;
   esac
 done
 if [ -n "$failed" ]; then
